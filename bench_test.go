@@ -1,0 +1,343 @@
+// Package repro's root benchmark harness regenerates every table and figure
+// of the ScaleFold paper's evaluation as a testing.B benchmark, and measures
+// the real fused-vs-reference kernels. Run:
+//
+//	go test -bench=. -benchmem
+//
+// Figure/table benchmarks report the reproduced quantity as custom metrics
+// (b.ReportMetric), so `go test -bench` output doubles as the
+// paper-vs-measured record; EXPERIMENTS.md snapshots one run.
+package repro
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/gpu"
+	"repro/internal/kernels"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/scalefold"
+	"repro/internal/workload"
+)
+
+// ---------- Table 1 ----------
+
+func BenchmarkTable1KernelBreakdown(b *testing.B) {
+	var memShare float64
+	var calls int
+	for i := 0; i < b.N; i++ {
+		rows := scalefold.Table1()
+		for _, r := range rows {
+			if r.Kind == "Memory-bounded" {
+				memShare = r.Share
+				calls = r.Calls
+			}
+		}
+	}
+	b.ReportMetric(100*memShare, "membound-share-%")
+	b.ReportMetric(float64(calls), "membound-calls")
+	b.ReportMetric(65.03, "paper-share-%")
+	b.ReportMetric(97749, "paper-calls")
+}
+
+// ---------- Figure 3 ----------
+
+func BenchmarkFig3BarrierAblation(b *testing.B) {
+	var imbalance8 float64
+	for i := 0; i < b.N; i++ {
+		for _, bar := range scalefold.Figure3(8) {
+			if bar.Name == "Imbalance communication" {
+				imbalance8 = bar.Share
+			}
+		}
+	}
+	b.ReportMetric(100*imbalance8, "dap8-imbalance-share-%")
+	b.ReportMetric(54, "paper-%")
+}
+
+// ---------- Figure 4 ----------
+
+func BenchmarkFig4PrepTimeDistribution(b *testing.B) {
+	var p99 float64
+	for i := 0; i < b.N; i++ {
+		curve := scalefold.PrepTimeCurve(20000)
+		p99 = dataset.Quantile(curve, 0.99)
+	}
+	b.ReportMetric(p99, "p99-seconds")
+}
+
+// ---------- Figure 5 ----------
+
+func BenchmarkFig5PipelineTimeline(b *testing.B) {
+	prep := []time.Duration{1 * time.Second, 7 * time.Second, 3 * time.Second}
+	var saved time.Duration
+	for i := 0; i < b.N; i++ {
+		blocking := pipeline.AnalyticSim{PrepTimes: prep, Workers: 2}.Run(5 * time.Second)
+		nonBlocking := pipeline.AnalyticSim{PrepTimes: prep, Workers: 2, NonBlocking: true}.Run(5 * time.Second)
+		saved = blocking.TotalWait() - nonBlocking.TotalWait()
+	}
+	b.ReportMetric(saved.Seconds(), "idle-seconds-saved")
+}
+
+// ---------- Figure 7 ----------
+
+func BenchmarkFig7StepTime(b *testing.B) {
+	var sf8 float64
+	for i := 0; i < b.N; i++ {
+		for _, r := range scalefold.Figure7() {
+			if r.Label == "ScaleFold (H100x1024, DAP8)" {
+				sf8 = r.Seconds
+			}
+		}
+	}
+	b.ReportMetric(sf8, "dap8-step-seconds")
+	b.ReportMetric(0.65, "paper-seconds")
+}
+
+// ---------- Figure 8 ----------
+
+func BenchmarkFig8OptimizationLadder(b *testing.B) {
+	var final float64
+	for i := 0; i < b.N; i++ {
+		rungs := scalefold.Ladder()
+		final = rungs[len(rungs)-1].Speedup
+	}
+	b.ReportMetric(final, "final-speedup-x")
+	b.ReportMetric(10.39, "paper-x")
+}
+
+// ---------- Figure 9 ----------
+
+func BenchmarkFig9TTTBreakdown(b *testing.B) {
+	var evalShare float64
+	for i := 0; i < b.N; i++ {
+		bars := scalefold.Figure9()
+		evalShare = bars[1].Shares["eval"] // ScaleFold w/o async eval
+	}
+	b.ReportMetric(100*evalShare, "noasync-eval-share-%")
+	b.ReportMetric(43, "paper-%")
+}
+
+// ---------- Figure 10 ----------
+
+func BenchmarkFig10TimeToTrain(b *testing.B) {
+	var minutes float64
+	for i := 0; i < b.N; i++ {
+		rows := scalefold.Figure10()
+		minutes = rows[2].Minutes
+	}
+	b.ReportMetric(minutes, "scalefold-ttt-minutes")
+	b.ReportMetric(8, "paper-minutes")
+}
+
+// ---------- Figure 11 ----------
+
+func BenchmarkFig11PretrainingCurve(b *testing.B) {
+	var hours float64
+	for i := 0; i < b.N; i++ {
+		_, res := scalefold.Figure11()
+		hours = res.WallTime.Hours()
+	}
+	b.ReportMetric(hours, "pretrain-hours")
+	b.ReportMetric(10, "paper-bound-hours")
+}
+
+// ---------- Real kernels: the §3.3.1 fusion targets ----------
+
+func benchSlice(n int) []float32 {
+	rng := rand.New(rand.NewSource(1))
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = float32(rng.NormFloat64())
+	}
+	return s
+}
+
+const lnRows, lnC = 4096, 128
+
+func BenchmarkLayerNormReference(b *testing.B) {
+	x := benchSlice(lnRows * lnC)
+	gamma := benchSlice(lnC)
+	beta := benchSlice(lnC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var st kernels.Stats
+		kernels.LayerNormRef(x, gamma, beta, lnRows, lnC, 1e-5, &st)
+	}
+}
+
+func BenchmarkLayerNormFused(b *testing.B) {
+	x := benchSlice(lnRows * lnC)
+	gamma := benchSlice(lnC)
+	beta := benchSlice(lnC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var st kernels.Stats
+		kernels.LayerNormFused(x, gamma, beta, lnRows, lnC, 1e-5, &st)
+	}
+}
+
+func BenchmarkLayerNormBackwardReference(b *testing.B) {
+	x := benchSlice(lnRows * lnC)
+	gamma := benchSlice(lnC)
+	beta := benchSlice(lnC)
+	dy := benchSlice(lnRows * lnC)
+	var st kernels.Stats
+	_, cache := kernels.LayerNormFused(x, gamma, beta, lnRows, lnC, 1e-5, &st)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernels.LayerNormRefBackward(dy, gamma, cache, &st)
+	}
+}
+
+func BenchmarkLayerNormBackwardFused(b *testing.B) {
+	x := benchSlice(lnRows * lnC)
+	gamma := benchSlice(lnC)
+	beta := benchSlice(lnC)
+	dy := benchSlice(lnRows * lnC)
+	var st kernels.Stats
+	_, cache := kernels.LayerNormFused(x, gamma, beta, lnRows, lnC, 1e-5, &st)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernels.LayerNormFusedBackward(dy, gamma, cache, 32, &st)
+	}
+}
+
+var mhaP = kernels.MHAParams{B: 8, L: 64, H: 8, D: 16}
+
+func mhaInputs() (q, k, v, g, bias []float32) {
+	e := mhaP.H * mhaP.D
+	return benchSlice(mhaP.B * mhaP.L * e), benchSlice(mhaP.B * mhaP.L * e),
+		benchSlice(mhaP.B * mhaP.L * e), benchSlice(mhaP.B * mhaP.L * e),
+		benchSlice(mhaP.H * mhaP.L * mhaP.L)
+}
+
+func BenchmarkMHAReference(b *testing.B) {
+	q, k, v, g, bias := mhaInputs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var st kernels.Stats
+		kernels.MHARef(mhaP, q, k, v, g, bias, nil, &st)
+	}
+}
+
+func BenchmarkMHAFused(b *testing.B) {
+	q, k, v, g, bias := mhaInputs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var st kernels.Stats
+		kernels.MHAFused(mhaP, q, k, v, g, bias, nil, 32, &st)
+	}
+}
+
+func BenchmarkProjectionsSeparate(b *testing.B) {
+	const n, k, m = 512, 128, 128
+	w := kernels.ProjectionWeights{
+		WQ: benchSlice(k * m), WK: benchSlice(k * m),
+		WV: benchSlice(k * m), WG: benchSlice(k * m), K: k, M: m,
+	}
+	x := benchSlice(n * k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var st kernels.Stats
+		kernels.ProjectSeparate(x, n, w, &st)
+	}
+}
+
+func BenchmarkProjectionsBatched(b *testing.B) {
+	const n, k, m = 512, 128, 128
+	w := kernels.ProjectionWeights{
+		WQ: benchSlice(k * m), WK: benchSlice(k * m),
+		WV: benchSlice(k * m), WG: benchSlice(k * m), K: k, M: m,
+	}
+	x := benchSlice(n * k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var st kernels.Stats
+		kernels.ProjectBatched(x, n, w, &st)
+	}
+}
+
+func adamParams(n, sz int) []kernels.ParamTensor {
+	ps := make([]kernels.ParamTensor, n)
+	for i := range ps {
+		ps[i] = kernels.ParamTensor{
+			P: benchSlice(sz), G: benchSlice(sz), M: benchSlice(sz),
+			V: make([]float32, sz), SWA: benchSlice(sz),
+		}
+	}
+	return ps
+}
+
+func BenchmarkAdamSWAReference(b *testing.B) {
+	ps := adamParams(200, 512)
+	cfg := kernels.DefaultAdamConfig(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var st kernels.Stats
+		cfg.Step = i + 1
+		kernels.AdamSWARef(ps, cfg, 1.0, &st)
+	}
+}
+
+func BenchmarkAdamSWAFused(b *testing.B) {
+	ps := adamParams(200, 512)
+	cfg := kernels.DefaultAdamConfig(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var st kernels.Stats
+		cfg.Step = i + 1
+		kernels.AdamSWAFused(ps, cfg, 1.0, nil, &st)
+	}
+}
+
+func BenchmarkGradNormPerTensor(b *testing.B) {
+	ps := adamParams(400, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var st kernels.Stats
+		kernels.GradNormRef(ps, &st)
+	}
+}
+
+func BenchmarkGradNormBucketed(b *testing.B) {
+	ps := adamParams(400, 256)
+	var st kernels.Stats
+	buckets := kernels.PackBuckets(ps, 1<<20, &st)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var st kernels.Stats
+		kernels.GradNormBucketed(buckets, &st)
+	}
+}
+
+// ---------- Real model: one miniature training step ----------
+
+func BenchmarkMiniatureTrainStep(b *testing.B) {
+	cfg := model.SmallConfig()
+	cfg.Crop = 12
+	cfg.EvoBlocks = 1
+	bench := newBenchTrainer(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.step()
+	}
+}
+
+// ---------- Cluster simulator throughput ----------
+
+func BenchmarkClusterSimulateDAP8(b *testing.B) {
+	prog := workload.Census(model.FullConfig(), workload.ScaleFold(8))
+	for i := 0; i < b.N; i++ {
+		c := scalefold.Figure7Config(gpu.H100(), 128, 8)
+		_ = c
+		_ = prog
+		cfg := scalefold.Figure7Config(gpu.H100(), 256, 8)
+		cfg.Steps = 2
+		cfg.Seed = int64(i + 1)
+		_ = cfg.StepSeconds()
+	}
+}

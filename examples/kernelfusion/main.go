@@ -1,0 +1,102 @@
+// Kernel fusion demo: execute the paper's three Triton kernels — fused
+// LayerNorm, fused pair-biased gated MHA, fused Adam+SWA — against their
+// fragmented baselines on real data, and report wall time, kernel-launch
+// counts and memory traffic. This is §3.3.1 made runnable: the fused forms
+// compute bit-compatible results while moving far fewer bytes.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/kernels"
+)
+
+func randSlice(rng *rand.Rand, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = float32(rng.NormFloat64())
+	}
+	return s
+}
+
+func report(name string, refDur, fusedDur time.Duration, ref, fused kernels.Stats) {
+	fmt.Printf("%s\n", name)
+	fmt.Printf("  reference: %8v  %6d launches  %8.1f MB traffic\n",
+		refDur.Round(time.Microsecond), ref.Launches, float64(ref.Bytes())/1e6)
+	fmt.Printf("  fused:     %8v  %6d launches  %8.1f MB traffic\n",
+		fusedDur.Round(time.Microsecond), fused.Launches, float64(fused.Bytes())/1e6)
+	fmt.Printf("  speedup %.2fx, launch reduction %.0fx, traffic reduction %.2fx\n\n",
+		float64(refDur)/float64(fusedDur),
+		float64(ref.Launches)/float64(fused.Launches),
+		float64(ref.Bytes())/float64(fused.Bytes()))
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(1))
+
+	// --- LayerNorm: AlphaFold's typical small hidden dims (§3.3.1) ---
+	const rows, c = 8192, 128
+	x := randSlice(rng, rows*c)
+	gamma := randSlice(rng, c)
+	beta := randSlice(rng, c)
+	var refSt, fusedSt kernels.Stats
+	t0 := time.Now()
+	yRef := kernels.LayerNormRef(x, gamma, beta, rows, c, 1e-5, &refSt)
+	refDur := time.Since(t0)
+	t0 = time.Now()
+	yFused, _ := kernels.LayerNormFused(x, gamma, beta, rows, c, 1e-5, &fusedSt)
+	fusedDur := time.Since(t0)
+	_ = yRef
+	_ = yFused
+	report("LayerNorm forward (8192 rows x 128)", refDur, fusedDur, refSt, fusedSt)
+
+	// --- Pair-biased gated MHA (Figure 6) ---
+	p := kernels.MHAParams{B: 16, L: 64, H: 8, D: 16}
+	E := p.H * p.D
+	q := randSlice(rng, p.B*p.L*E)
+	k := randSlice(rng, p.B*p.L*E)
+	v := randSlice(rng, p.B*p.L*E)
+	g := randSlice(rng, p.B*p.L*E)
+	bias := randSlice(rng, p.H*p.L*p.L)
+	refSt, fusedSt = kernels.Stats{}, kernels.Stats{}
+	t0 = time.Now()
+	kernels.MHARef(p, q, k, v, g, bias, nil, &refSt)
+	refDur = time.Since(t0)
+	t0 = time.Now()
+	kernels.MHAFused(p, q, k, v, g, bias, nil, 32, &fusedSt)
+	fusedDur = time.Since(t0)
+	report("MHA with pair bias + sigmoid gating (16x64, 8 heads)", refDur, fusedDur, refSt, fusedSt)
+
+	// --- Adam + SWA + gradient clipping across many small tensors ---
+	sizes := make([]int, 400) // AlphaFold has ~4400; scaled for the demo
+	for i := range sizes {
+		sizes[i] = 64 + rng.Intn(4096)
+	}
+	mkParams := func() []kernels.ParamTensor {
+		r := rand.New(rand.NewSource(2))
+		ps := make([]kernels.ParamTensor, len(sizes))
+		for i, n := range sizes {
+			ps[i] = kernels.ParamTensor{
+				P: randSlice(r, n), G: randSlice(r, n), M: randSlice(r, n),
+				V: make([]float32, n), SWA: randSlice(r, n),
+			}
+		}
+		return ps
+	}
+	cfg := kernels.DefaultAdamConfig(10)
+	refSt, fusedSt = kernels.Stats{}, kernels.Stats{}
+	a := mkParams()
+	t0 = time.Now()
+	kernels.AdamSWARef(a, cfg, 1.0, &refSt)
+	refDur = time.Since(t0)
+	b := mkParams()
+	t0 = time.Now()
+	kernels.AdamSWAFused(b, cfg, 1.0, nil, &fusedSt)
+	fusedDur = time.Since(t0)
+	report(fmt.Sprintf("Adam+SWA+grad-clip over %d tensors", len(sizes)), refDur, fusedDur, refSt, fusedSt)
+
+	fmt.Println("All fused forms are verified bit-equivalent to the references")
+	fmt.Println("by the kernels package test suite (go test ./internal/kernels).")
+}

@@ -1,0 +1,329 @@
+// Package autograd implements a small reverse-mode automatic differentiation
+// tape over the tensor package. It exists so the miniature AlphaFold model in
+// package model can be written forward-only and still train for real — the
+// paper's convergence experiments (Figure 11) need an actually trainable
+// Evoformer, and OpenFold gets its gradients from PyTorch; this tape is the
+// stdlib-Go substitute.
+//
+// The op set is deliberately the union of exactly what Evoformer needs:
+// linear layers, layer normalization, softmax attention with an additive
+// pair bias (the AlphaFold MHA variant from Figure 6), sigmoid gating,
+// triangle multiplicative updates, outer product mean, transitions (ReLU
+// MLPs) and residual arithmetic.
+package autograd
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Value is a node in the autograd graph: a tensor plus an optional gradient
+// and a backward closure that propagates the gradient to its parents.
+type Value struct {
+	X    *tensor.Tensor
+	Grad *tensor.Tensor
+
+	tape     *Tape
+	requires bool
+	back     func()
+}
+
+// Tape records Values in creation order so Backward can run the closures in
+// reverse topological order (creation order is a valid topological order
+// because ops only consume already-created Values).
+type Tape struct {
+	nodes []*Value
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Len returns the number of recorded nodes (used by tests and by the
+// workload census to count "operators" the way Table 1 counts kernels).
+func (t *Tape) Len() int { return len(t.nodes) }
+
+// Reset drops all recorded nodes. Parameters created with Param remain
+// usable — re-binding them onto the new tape happens via Watch.
+func (t *Tape) Reset() { t.nodes = t.nodes[:0] }
+
+func (t *Tape) record(v *Value) *Value {
+	t.nodes = append(t.nodes, v)
+	return v
+}
+
+// Param registers x as a trainable parameter: it requires grad and has no
+// parents.
+func (t *Tape) Param(x *tensor.Tensor) *Value {
+	return t.record(&Value{X: x, tape: t, requires: true})
+}
+
+// Input registers x as a non-trainable input.
+func (t *Tape) Input(x *tensor.Tensor) *Value {
+	return t.record(&Value{X: x, tape: t})
+}
+
+// Watch re-registers an existing parameter Value on the tape after a Reset,
+// clearing any stale gradient.
+func (t *Tape) Watch(v *Value) *Value {
+	v.tape = t
+	v.Grad = nil
+	v.back = nil
+	return t.record(v)
+}
+
+// ensureGrad allocates the gradient buffer on demand.
+func (v *Value) ensureGrad() *tensor.Tensor {
+	if v.Grad == nil {
+		v.Grad = tensor.New(v.X.Shape()...)
+	}
+	return v.Grad
+}
+
+// accum adds g into v's gradient if v participates in differentiation.
+func (v *Value) accum(g *tensor.Tensor) {
+	if !v.requires {
+		return
+	}
+	v.ensureGrad().Add(g)
+}
+
+// Backward seeds the gradient of root with ones and propagates through the
+// tape in reverse creation order. root is typically a scalar loss.
+func (t *Tape) Backward(root *Value) {
+	if root.tape != t {
+		panic("autograd: Backward root is not on this tape")
+	}
+	root.ensureGrad().Fill(1)
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		n := t.nodes[i]
+		if n.back != nil && n.Grad != nil {
+			n.back()
+		}
+	}
+}
+
+// newResult creates a result node; it requires grad if any parent does.
+func (t *Tape) newResult(x *tensor.Tensor, parents ...*Value) *Value {
+	req := false
+	for _, p := range parents {
+		if p.requires {
+			req = true
+			break
+		}
+	}
+	return t.record(&Value{X: x, tape: t, requires: req})
+}
+
+func sameTape(vs ...*Value) *Tape {
+	t := vs[0].tape
+	for _, v := range vs[1:] {
+		if v.tape != t {
+			panic("autograd: operands from different tapes")
+		}
+	}
+	return t
+}
+
+// Add returns a + b (same shape).
+func Add(a, b *Value) *Value {
+	t := sameTape(a, b)
+	out := t.newResult(a.X.Clone().Add(b.X), a, b)
+	out.back = func() {
+		a.accum(out.Grad)
+		b.accum(out.Grad)
+	}
+	return out
+}
+
+// Sub returns a - b (same shape).
+func Sub(a, b *Value) *Value {
+	t := sameTape(a, b)
+	out := t.newResult(a.X.Clone().Sub(b.X), a, b)
+	out.back = func() {
+		a.accum(out.Grad)
+		if b.requires {
+			b.ensureGrad().AddScaled(out.Grad, -1)
+		}
+	}
+	return out
+}
+
+// Mul returns the elementwise product a * b (same shape).
+func Mul(a, b *Value) *Value {
+	t := sameTape(a, b)
+	out := t.newResult(a.X.Clone().Mul(b.X), a, b)
+	out.back = func() {
+		if a.requires {
+			a.ensureGrad().Add(out.Grad.Clone().Mul(b.X))
+		}
+		if b.requires {
+			b.ensureGrad().Add(out.Grad.Clone().Mul(a.X))
+		}
+	}
+	return out
+}
+
+// Scale returns a * s for a scalar constant s.
+func Scale(a *Value, s float32) *Value {
+	out := a.tape.newResult(a.X.Clone().Scale(s), a)
+	out.back = func() {
+		if a.requires {
+			a.ensureGrad().AddScaled(out.Grad, s)
+		}
+	}
+	return out
+}
+
+// Linear returns x·W + b where x is [N,K] (or any leading shape flattened to
+// rows of K), W is [K,M] and b is [M] (b may be nil).
+func Linear(x, w, b *Value) *Value {
+	t := sameTape(x, w)
+	k := w.X.Dim(0)
+	m := w.X.Dim(1)
+	n := x.X.Len() / k
+	x2 := x.X.Reshape(n, k)
+	y := tensor.MatMul(x2, w.X)
+	if b != nil {
+		sameTape(x, b)
+		for i := 0; i < n; i++ {
+			row := tensor.Row(y, i)
+			for j := 0; j < m; j++ {
+				row[j] += b.X.Data[j]
+			}
+		}
+	}
+	outShape := append([]int{}, x.X.Shape()...)
+	outShape[len(outShape)-1] = m
+	parents := []*Value{x, w}
+	if b != nil {
+		parents = append(parents, b)
+	}
+	out := t.newResult(y.Reshape(outShape...), parents...)
+	out.back = func() {
+		g := out.Grad.Reshape(n, m)
+		if x.requires {
+			x.ensureGrad().Reshape(n, k).Add(tensor.MatMulT(g, w.X))
+		}
+		if w.requires {
+			w.ensureGrad().Add(tensor.TMatMul(x2, g))
+		}
+		if b != nil && b.requires {
+			bg := b.ensureGrad()
+			for i := 0; i < n; i++ {
+				row := tensor.Row(g, i)
+				for j := 0; j < m; j++ {
+					bg.Data[j] += row[j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Sigmoid applies the logistic function elementwise.
+func Sigmoid(a *Value) *Value {
+	y := tensor.Sigmoid(a.X)
+	out := a.tape.newResult(y, a)
+	out.back = func() {
+		if !a.requires {
+			return
+		}
+		g := a.ensureGrad()
+		for i := range g.Data {
+			s := y.Data[i]
+			g.Data[i] += out.Grad.Data[i] * s * (1 - s)
+		}
+	}
+	return out
+}
+
+// ReLU applies max(0,x) elementwise.
+func ReLU(a *Value) *Value {
+	y := tensor.ReLU(a.X)
+	out := a.tape.newResult(y, a)
+	out.back = func() {
+		if !a.requires {
+			return
+		}
+		g := a.ensureGrad()
+		for i := range g.Data {
+			if a.X.Data[i] > 0 {
+				g.Data[i] += out.Grad.Data[i]
+			}
+		}
+	}
+	return out
+}
+
+// Transpose01 swaps the first two axes of a rank-3 tensor [A,B,C] -> [B,A,C].
+// The model uses it to flip between row-wise (per-sequence) and column-wise
+// (per-residue) attention over the MSA representation.
+func Transpose01(a *Value) *Value {
+	if a.X.Rank() != 3 {
+		panic(fmt.Sprintf("autograd: Transpose01 requires rank 3, got %v", a.X.Shape()))
+	}
+	A, B, C := a.X.Dim(0), a.X.Dim(1), a.X.Dim(2)
+	y := tensor.New(B, A, C)
+	transpose01(y.Data, a.X.Data, A, B, C)
+	out := a.tape.newResult(y, a)
+	out.back = func() {
+		if !a.requires {
+			return
+		}
+		tmp := tensor.New(A, B, C)
+		transpose01(tmp.Data, out.Grad.Data, B, A, C)
+		a.ensureGrad().Add(tmp)
+	}
+	return out
+}
+
+func transpose01(dst, src []float32, a, b, c int) {
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			copy(dst[(j*a+i)*c:(j*a+i+1)*c], src[(i*b+j)*c:(i*b+j+1)*c])
+		}
+	}
+}
+
+// MeanAll reduces a to a scalar mean (used for losses).
+func MeanAll(a *Value) *Value {
+	y := tensor.FromSlice([]float32{float32(a.X.Mean())}, 1)
+	out := a.tape.newResult(y, a)
+	out.back = func() {
+		if !a.requires {
+			return
+		}
+		g := a.ensureGrad()
+		s := out.Grad.Data[0] / float32(a.X.Len())
+		for i := range g.Data {
+			g.Data[i] += s
+		}
+	}
+	return out
+}
+
+// MSE returns the mean squared error between pred and target (a constant).
+func MSE(pred *Value, target *tensor.Tensor) *Value {
+	if pred.X.Len() != target.Len() {
+		panic("autograd: MSE size mismatch")
+	}
+	var s float64
+	for i := range pred.X.Data {
+		d := float64(pred.X.Data[i] - target.Data[i])
+		s += d * d
+	}
+	y := tensor.FromSlice([]float32{float32(s / float64(pred.X.Len()))}, 1)
+	out := pred.tape.newResult(y, pred)
+	out.back = func() {
+		if !pred.requires {
+			return
+		}
+		g := pred.ensureGrad()
+		c := 2 * out.Grad.Data[0] / float32(pred.X.Len())
+		for i := range g.Data {
+			g.Data[i] += c * (pred.X.Data[i] - target.Data[i])
+		}
+	}
+	return out
+}

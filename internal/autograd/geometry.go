@@ -1,0 +1,64 @@
+package autograd
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// PairwiseDist maps coordinates x of shape [R,3] to the distance matrix
+// [R,R] with d[i,j] = |x_i - x_j|. The training loss compares predicted and
+// true distance matrices, which is invariant to global rotation and
+// translation — the same property AlphaFold's FAPE loss engineers with
+// frames, obtained here in the cheapest differentiable way.
+func PairwiseDist(x *Value) *Value {
+	if x.X.Rank() != 2 || x.X.Dim(1) != 3 {
+		panic("autograd: PairwiseDist requires [R,3] coordinates")
+	}
+	R := x.X.Dim(0)
+	const eps = 1e-6
+	y := tensor.New(R, R)
+	for i := 0; i < R; i++ {
+		xi := x.X.Data[i*3 : i*3+3]
+		for j := i + 1; j < R; j++ {
+			xj := x.X.Data[j*3 : j*3+3]
+			dx := float64(xi[0] - xj[0])
+			dy := float64(xi[1] - xj[1])
+			dz := float64(xi[2] - xj[2])
+			d := float32(math.Sqrt(dx*dx + dy*dy + dz*dz + eps))
+			y.Data[i*R+j] = d
+			y.Data[j*R+i] = d
+		}
+	}
+	out := x.tape.newResult(y, x)
+	out.back = func() {
+		if !x.requires {
+			return
+		}
+		g := x.ensureGrad()
+		for i := 0; i < R; i++ {
+			xi := x.X.Data[i*3 : i*3+3]
+			gi := g.Data[i*3 : i*3+3]
+			for j := 0; j < R; j++ {
+				if i == j {
+					continue
+				}
+				d := y.Data[i*R+j]
+				if d == 0 {
+					continue
+				}
+				// d[i,j] appears at (i,j) and (j,i); both feed x_i.
+				up := out.Grad.Data[i*R+j] + out.Grad.Data[j*R+i]
+				if up == 0 {
+					continue
+				}
+				xj := x.X.Data[j*3 : j*3+3]
+				inv := up / d
+				gi[0] += inv * (xi[0] - xj[0])
+				gi[1] += inv * (xi[1] - xj[1])
+				gi[2] += inv * (xi[2] - xj[2])
+			}
+		}
+	}
+	return out
+}

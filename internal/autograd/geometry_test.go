@@ -1,0 +1,47 @@
+package autograd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestPairwiseDistValues(t *testing.T) {
+	tp := NewTape()
+	x := tp.Input(tensor.FromSlice([]float32{0, 0, 0, 3, 4, 0}, 2, 3))
+	d := PairwiseDist(x)
+	if math.Abs(float64(d.X.At(0, 1))-5) > 1e-3 || math.Abs(float64(d.X.At(1, 0))-5) > 1e-3 {
+		t.Fatalf("distance %v, want 5", d.X.Data)
+	}
+	if d.X.At(0, 0) != 0 || d.X.At(1, 1) != 0 {
+		t.Fatal("diagonal must be 0")
+	}
+}
+
+func TestGradPairwiseDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	x := tensor.New(5, 3).RandN(rng, 2)
+	target := tensor.New(5, 5)
+	target.Fill(3)
+	gradCheck(t, []*tensor.Tensor{x}, func(tp *Tape, vs []*Value) *Value {
+		return MSE(PairwiseDist(vs[0]), target)
+	})
+}
+
+func TestPairwiseDistTranslationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	tp := NewTape()
+	x := tensor.New(6, 3).RandN(rng, 1)
+	y := x.Clone()
+	for i := 0; i < 6; i++ {
+		y.Data[i*3] += 10
+		y.Data[i*3+1] -= 4
+	}
+	d1 := PairwiseDist(tp.Input(x))
+	d2 := PairwiseDist(tp.Input(y))
+	if d1.X.MaxDiff(d2.X) > 1e-4 {
+		t.Fatal("distance matrix must be translation invariant")
+	}
+}

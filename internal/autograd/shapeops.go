@@ -1,0 +1,153 @@
+package autograd
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Reshape returns a node with the same data viewed under a new shape.
+// The result copies the data so gradient buffers stay independent.
+func Reshape(a *Value, shape ...int) *Value {
+	y := a.X.Clone().Reshape(shape...)
+	out := a.tape.newResult(y, a)
+	out.back = func() {
+		if a.requires {
+			a.ensureGrad().Add(out.Grad.Reshape(a.X.Shape()...))
+		}
+	}
+	return out
+}
+
+// MoveLastToFront permutes a rank-3 tensor [A,B,C] -> [C,A,B]. The model
+// uses it to turn per-pair head logits [R,R,H] into the [H,R,R] bias layout
+// MHACore expects.
+func MoveLastToFront(a *Value) *Value {
+	if a.X.Rank() != 3 {
+		panic(fmt.Sprintf("autograd: MoveLastToFront requires rank 3, got %v", a.X.Shape()))
+	}
+	A, B, C := a.X.Dim(0), a.X.Dim(1), a.X.Dim(2)
+	y := tensor.New(C, A, B)
+	for i := 0; i < A; i++ {
+		for j := 0; j < B; j++ {
+			for c := 0; c < C; c++ {
+				y.Data[(c*A+i)*B+j] = a.X.Data[(i*B+j)*C+c]
+			}
+		}
+	}
+	out := a.tape.newResult(y, a)
+	out.back = func() {
+		if !a.requires {
+			return
+		}
+		g := a.ensureGrad()
+		for i := 0; i < A; i++ {
+			for j := 0; j < B; j++ {
+				for c := 0; c < C; c++ {
+					g.Data[(i*B+j)*C+c] += out.Grad.Data[(c*A+i)*B+j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TakeRow0 extracts the first slice along axis 0 of a rank-3 tensor:
+// [S,R,C] -> [R,C]. The structure module uses it to read the first MSA row
+// (the target sequence representation).
+func TakeRow0(a *Value) *Value {
+	if a.X.Rank() != 3 {
+		panic(fmt.Sprintf("autograd: TakeRow0 requires rank 3, got %v", a.X.Shape()))
+	}
+	R, C := a.X.Dim(1), a.X.Dim(2)
+	y := tensor.New(R, C)
+	copy(y.Data, a.X.Data[:R*C])
+	out := a.tape.newResult(y, a)
+	out.back = func() {
+		if !a.requires {
+			return
+		}
+		g := a.ensureGrad()
+		for i := 0; i < R*C; i++ {
+			g.Data[i] += out.Grad.Data[i]
+		}
+	}
+	return out
+}
+
+// AddRowBroadcast adds b [R,C] to every slice of a [S,R,C] along axis 0.
+// Used by the input embedder (target features added to each MSA row) and
+// the recycling embedder.
+func AddRowBroadcast(a, b *Value) *Value {
+	t := sameTape(a, b)
+	S, R, C := a.X.Dim(0), a.X.Dim(1), a.X.Dim(2)
+	if b.X.Dim(0) != R || b.X.Dim(1) != C {
+		panic(fmt.Sprintf("autograd: AddRowBroadcast %v + %v", a.X.Shape(), b.X.Shape()))
+	}
+	y := a.X.Clone()
+	for s := 0; s < S; s++ {
+		base := s * R * C
+		for i := 0; i < R*C; i++ {
+			y.Data[base+i] += b.X.Data[i]
+		}
+	}
+	out := t.newResult(y, a, b)
+	out.back = func() {
+		if a.requires {
+			a.ensureGrad().Add(out.Grad)
+		}
+		if b.requires {
+			bg := b.ensureGrad()
+			for s := 0; s < S; s++ {
+				base := s * R * C
+				for i := 0; i < R*C; i++ {
+					bg.Data[i] += out.Grad.Data[base+i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// PairOuterSum builds a pair tensor from two per-residue embeddings:
+// out[i,j,c] = a[i,c] + b[j,c], for a, b of shape [R,C]. This is the
+// left/right single embedding sum that initializes the pair representation.
+func PairOuterSum(a, b *Value) *Value {
+	t := sameTape(a, b)
+	R, C := a.X.Dim(0), a.X.Dim(1)
+	if b.X.Dim(0) != R || b.X.Dim(1) != C {
+		panic(fmt.Sprintf("autograd: PairOuterSum %v + %v", a.X.Shape(), b.X.Shape()))
+	}
+	y := tensor.New(R, R, C)
+	for i := 0; i < R; i++ {
+		for j := 0; j < R; j++ {
+			o := y.Data[(i*R+j)*C : (i*R+j+1)*C]
+			av := a.X.Data[i*C : (i+1)*C]
+			bv := b.X.Data[j*C : (j+1)*C]
+			for c := 0; c < C; c++ {
+				o[c] = av[c] + bv[c]
+			}
+		}
+	}
+	out := t.newResult(y, a, b)
+	out.back = func() {
+		for i := 0; i < R; i++ {
+			for j := 0; j < R; j++ {
+				g := out.Grad.Data[(i*R+j)*C : (i*R+j+1)*C]
+				if a.requires {
+					ag := a.ensureGrad().Data[i*C : (i+1)*C]
+					for c := 0; c < C; c++ {
+						ag[c] += g[c]
+					}
+				}
+				if b.requires {
+					bg := b.ensureGrad().Data[j*C : (j+1)*C]
+					for c := 0; c < C; c++ {
+						bg[c] += g[c]
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package autograd
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestGradReshape(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	x := randTensor(rng, 2, 6)
+	gradCheck(t, []*tensor.Tensor{x}, func(tp *Tape, vs []*Value) *Value {
+		y := Reshape(vs[0], 3, 4)
+		target := tensor.New(3, 4)
+		target.Fill(0.5)
+		return MSE(y, target)
+	})
+}
+
+func TestGradMoveLastToFront(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	x := randTensor(rng, 2, 3, 4)
+	gradCheck(t, []*tensor.Tensor{x}, func(tp *Tape, vs []*Value) *Value {
+		y := MoveLastToFront(vs[0])
+		if y.X.Dim(0) != 4 || y.X.Dim(1) != 2 || y.X.Dim(2) != 3 {
+			t.Fatalf("shape %v", y.X.Shape())
+		}
+		w := tensor.New(4, 2, 3)
+		w.RandN(rand.New(rand.NewSource(5)), 1)
+		return MSE(y, w)
+	})
+}
+
+func TestMoveLastToFrontValues(t *testing.T) {
+	tp := NewTape()
+	x := tp.Input(tensor.FromSlice([]float32{
+		1, 2, // [0,0,:]
+		3, 4, // [0,1,:]
+		5, 6, // [1,0,:]
+		7, 8, // [1,1,:]
+	}, 2, 2, 2))
+	y := MoveLastToFront(x)
+	// y[c,i,j] = x[i,j,c]
+	if y.X.At(0, 1, 1) != 7 || y.X.At(1, 0, 1) != 4 {
+		t.Fatalf("bad permutation: %v", y.X.Data)
+	}
+}
+
+func TestGradTakeRow0(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	x := randTensor(rng, 3, 2, 4)
+	gradCheck(t, []*tensor.Tensor{x}, func(tp *Tape, vs []*Value) *Value {
+		y := TakeRow0(vs[0])
+		target := tensor.New(2, 4)
+		target.Fill(-0.2)
+		return MSE(y, target)
+	})
+}
+
+func TestTakeRow0OnlyGradsFirstSlice(t *testing.T) {
+	tp := NewTape()
+	x := tp.Param(tensor.New(2, 2, 2))
+	y := TakeRow0(x)
+	tp.Backward(MeanAll(y))
+	for i := 4; i < 8; i++ {
+		if x.Grad.Data[i] != 0 {
+			t.Fatal("grad leaked into non-first slices")
+		}
+	}
+	if x.Grad.Data[0] == 0 {
+		t.Fatal("first slice must receive grad")
+	}
+}
+
+func TestGradAddRowBroadcast(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := randTensor(rng, 3, 2, 3)
+	b := randTensor(rng, 2, 3)
+	gradCheck(t, []*tensor.Tensor{a, b}, func(tp *Tape, vs []*Value) *Value {
+		return MeanAll(Mul(AddRowBroadcast(vs[0], vs[1]), AddRowBroadcast(vs[0], vs[1])))
+	})
+}
+
+func TestGradPairOuterSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	a := randTensor(rng, 3, 2)
+	b := randTensor(rng, 3, 2)
+	gradCheck(t, []*tensor.Tensor{a, b}, func(tp *Tape, vs []*Value) *Value {
+		y := PairOuterSum(vs[0], vs[1])
+		target := tensor.New(3, 3, 2)
+		target.Fill(0.1)
+		return MSE(y, target)
+	})
+}
+
+func TestPairOuterSumValues(t *testing.T) {
+	tp := NewTape()
+	a := tp.Input(tensor.FromSlice([]float32{1, 2, 10, 20}, 2, 2))
+	b := tp.Input(tensor.FromSlice([]float32{100, 200, 1000, 2000}, 2, 2))
+	y := PairOuterSum(a, b)
+	if y.X.At(0, 1, 0) != 1001 || y.X.At(1, 0, 1) != 220 {
+		t.Fatalf("bad outer sum: %v", y.X.Data)
+	}
+}

@@ -1,0 +1,408 @@
+// Package cluster is the discrete multi-rank step simulator: it takes the
+// kernel census of package workload, the GPU/CPU models of package gpu, the
+// collective models of package comm and the data-pipeline semantics of
+// package pipeline, and produces per-step times with a full breakdown —
+// GPU compute, exposed CPU launch overhead, data-pipeline waits, collective
+// transfer time and imbalance (straggler) waits. The Figure 3 barrier
+// ablation and the Figure 7/8 step-time experiments are built on it.
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/dap"
+	"repro/internal/dataset"
+	"repro/internal/gpu"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	Arch gpu.Arch
+	Topo comm.Topology
+	CPU  gpu.CPUModel
+
+	// CUDAGraph captures the step into graphs (per recycling scenario),
+	// removing per-kernel CPU launch costs and their noise sensitivity.
+	CUDAGraph bool
+	// NonBlockingPipeline selects the §3.2 loader semantics.
+	NonBlockingPipeline bool
+	// Workers is the per-rank dataloader worker count.
+	Workers int
+	// Prefetch bounds how many batches workers may run ahead of the
+	// trainer (queue slots). Real OpenFold setups bind 28 CPU threads per
+	// GPU and prefetch deep; stalls therefore only appear once step time
+	// shrinks enough that the prefetch horizon (Prefetch × step) drops
+	// below the prep-time tail — exactly the paper's observation that data
+	// loading grows in importance as the step gets faster.
+	Prefetch int
+	// PrepModel drives per-rank batch preparation times.
+	PrepModel dataset.PrepTimeModel
+
+	Seed  int64
+	Steps int // steps to average over
+
+	// Ablation switches (Figure 3): each idealizes one barrier.
+	ZeroLaunchOverhead bool // CPU overhead eliminated
+	PerfectBalance     bool // workers synchronized before every collective
+	ZeroSerial         bool // serial modules parallelized away
+	FlatEfficiency     bool // kernels keep full efficiency at any size
+	ZeroCommVolume     bool // DAP collective payloads are free
+}
+
+// DefaultOptions returns a production-like H100 setup.
+func DefaultOptions(seed int64) Options {
+	return Options{
+		Arch:      gpu.H100(),
+		Topo:      comm.Eos(),
+		CPU:       gpu.DefaultCPUModel(),
+		Workers:   10,
+		Prefetch:  32,
+		PrepModel: dataset.DefaultPrepTimeModel(),
+		Seed:      seed,
+		Steps:     6,
+	}
+}
+
+// Breakdown decomposes mean step time.
+type Breakdown struct {
+	GPUCompute  time.Duration // roofline kernel time (includes serial modules)
+	SerialPart  time.Duration // portion of GPUCompute in serial groups
+	CPUExposed  time.Duration // launch overhead not hidden behind kernels
+	DataWait    time.Duration // trainer idle waiting for batches (mean)
+	CommXfer    time.Duration // collective payload transfer time
+	CommWait    time.Duration // straggler-induced wait at collectives (mean)
+	ClipExposed time.Duration // gradient-clip time not hidden under comm
+
+	// Median-over-steps variants of the stochastic components, robust to
+	// the rare multi-ten-second pipeline stalls (used by the Figure 3
+	// decomposition, which the paper measured on short profiled runs).
+	DataWaitMedian time.Duration
+	CommWaitMedian time.Duration
+}
+
+// Result is the simulation outcome.
+type Result struct {
+	MeanStep time.Duration
+	// MedianStep is robust to the rare multi-second data-pipeline stalls;
+	// step-time microbenchmarks (Figures 7 and 8) report it, while
+	// time-to-train accounting uses the mean.
+	MedianStep time.Duration
+	Break      Breakdown
+	Plan       dap.Plan
+	// GraphCapture is the one-time CUDA-graph capture cost (all recycling
+	// scenarios), paid during initialization — Figure 9's "compilation"
+	// share, not steady-state step time.
+	GraphCapture time.Duration
+}
+
+// Simulate runs the step simulation for a program on `ranks` GPUs at the
+// given DAP degree.
+func Simulate(prog *workload.Program, ranks, dapDegree int, o Options) Result {
+	plan, err := dap.NewPlan(ranks, dapDegree)
+	if err != nil {
+		panic(err)
+	}
+	if o.Steps < 1 {
+		o.Steps = 4
+	}
+	if o.Workers < 1 {
+		o.Workers = 10
+	}
+	if o.Prefetch < 1 {
+		o.Prefetch = 32
+	}
+	// --- Per-step invariants (identical across ranks) ---
+	var gpuCompute, serialPart time.Duration
+	var launches int
+	for _, g := range prog.Groups {
+		if o.ZeroSerial && g.Serial {
+			continue
+		}
+		d := time.Duration(g.Calls) * o.Arch.KernelDuration(g.PerCallFlops(), g.PerCallBytes(), o.FlatEfficiency)
+		gpuCompute += d
+		if g.Serial {
+			serialPart += d
+		}
+		launches += g.Calls
+	}
+
+	// Exposed CPU baseline: launches whose issue cost exceeds the previous
+	// kernel's duration leave the GPU idle. We approximate per group.
+	var cpuExposedBase time.Duration
+	if !o.CUDAGraph && !o.ZeroLaunchOverhead {
+		for _, g := range prog.Groups {
+			if o.ZeroSerial && g.Serial {
+				continue
+			}
+			per := o.Arch.KernelDuration(g.PerCallFlops(), g.PerCallBytes(), o.FlatEfficiency)
+			if gap := o.Arch.LaunchOverhead - per; gap > 0 {
+				cpuExposedBase += time.Duration(g.Calls) * gap
+			}
+		}
+	}
+
+	// Collective schedule.
+	var syncEvents int
+	var xferPerStep time.Duration
+	for _, s := range prog.Syncs {
+		syncEvents += s.Count
+		bytes := s.Bytes
+		if o.ZeroCommVolume {
+			bytes = 0
+		}
+		xferPerStep += time.Duration(s.Count) * o.Topo.Cost(s.Op, plan.Degree, bytes)
+	}
+
+	// Data pipeline waits, per rank: simulate a warmup prefix so the waits
+	// reflect steady state (the pipeline is warm after MLPerf's init phase),
+	// then keep Steps waits.
+	// A leading window lets the prefetch queue fill; a trailing pad keeps
+	// the epoch end out of the measurement (the non-blocking loader defers
+	// slow batches, and at the very end of an epoch it must finally wait
+	// for them — steady-state training doesn't see that).
+	warmup := 16
+	if o.Prefetch > warmup {
+		warmup = o.Prefetch
+	}
+	stepEstimate := gpuCompute + cpuExposedBase + xferPerStep
+	dataWaits := make([][]time.Duration, ranks)
+	gen := dataset.NewGenerator(o.Seed + 101)
+	epoch := warmup + o.Steps + 16
+	for r := 0; r < ranks; r++ {
+		prep := make([]time.Duration, epoch)
+		for k := range prep {
+			s := gen.Sample(r*epoch + k)
+			prep[k] = o.PrepModel.Duration(s, o.Seed+int64(r))
+		}
+		tl := pipeline.AnalyticSim{PrepTimes: prep, Workers: o.Workers, Prefetch: o.Prefetch, NonBlocking: o.NonBlockingPipeline}.Run(stepEstimate)
+		dataWaits[r] = tl.Wait[warmup : warmup+o.Steps]
+	}
+
+	// --- Per-step simulation ---
+	stepTimes := make([]time.Duration, 0, o.Steps)
+	stepComm := make([]time.Duration, 0, o.Steps)
+	stepData := make([]time.Duration, 0, o.Steps)
+	var graphCapture time.Duration
+	if o.CUDAGraph {
+		// All recycling scenarios (1..4 recycles) are captured once during
+		// warmup; steady-state steps replay from the cache.
+		graphs := gpu.NewGraphCache(0)
+		for key := 0; key < 4; key++ {
+			graphCapture += graphs.Launch(o.Arch, key, launches, o.CPU, 0)
+		}
+	}
+	var total time.Duration
+	var bk Breakdown
+	intervals := syncEvents + 1
+
+	rankRNGs := make([]*rand.Rand, ranks)
+	for r := range rankRNGs {
+		rankRNGs[r] = rand.New(rand.NewSource(o.Seed*31 + int64(r)))
+	}
+
+	// advance returns the duration of one compute chunk on a rank: the GPU
+	// share plus the CPU-exposed share, the latter stretched when a
+	// background CPU peak lands in the chunk. CUDA graphs make the CPU share
+	// microscopic, which is exactly why they immunize the step against
+	// peaks (§3.2).
+	peaksPerStep := o.CPU.PeakProb * 2
+	// Per-chunk relative jitter: a chunk of K kernels has duration CV of
+	// roughly 1/sqrt(K) of the per-kernel CV. Fine-grained DAP sync points
+	// mean few kernels per chunk, hence large relative jitter — the reason
+	// imbalance dominates the Figure 3 gap at high DAP degrees. CUDA graphs
+	// remove the launch-time component of that variance.
+	kernelsPerChunk := float64(launches) / float64(intervals)
+	if kernelsPerChunk < 1 {
+		kernelsPerChunk = 1
+	}
+	perKernelCV := 0.35
+	if o.CUDAGraph {
+		perKernelCV = 0.12
+	}
+	chunkCV := perKernelCV / sqrtF(kernelsPerChunk)
+	stragglerProb := o.CPU.StragglerProb
+	if o.CUDAGraph {
+		stragglerProb /= 15
+	}
+	advance := func(r int, gpuChunk, cpuChunk time.Duration) time.Duration {
+		rr := rankRNGs[r]
+		d := gpuChunk + cpuChunk
+		if o.PerfectBalance {
+			return d
+		}
+		// Gaussian execution jitter scaled to the chunk's kernel count.
+		d += time.Duration(chunkCV * rr.NormFloat64() * float64(gpuChunk))
+		// Background CPU peak pinning this rank's launch thread right
+		// before the sync point (§3.1 "slow workers"); exponential delay.
+		if stragglerProb > 0 && rr.Float64() < stragglerProb {
+			d += time.Duration(rr.ExpFloat64() * float64(o.CPU.StragglerMean))
+		}
+		if cpuChunk > 0 {
+			p := peaksPerStep / float64(intervals)
+			if p > 1 {
+				p = 1
+			}
+			if rr.Float64() < p {
+				d += time.Duration(o.CPU.PeakStretch * rr.Float64() * float64(cpuChunk))
+			}
+		}
+		if d < 0 {
+			d = 0
+		}
+		return d
+	}
+
+	for step := 0; step < o.Steps; step++ {
+		// Per-rank CPU exposure this step.
+		cpuExposed := make([]time.Duration, ranks)
+		for r := 0; r < ranks; r++ {
+			if o.CUDAGraph {
+				// Graph replay only: captures happened during init. Python
+				// GC still stalls the host between replays until disabled.
+				cpuExposed[r] = o.Arch.GraphReplayOverhead + gcCost(o.CPU, launches)
+			} else if !o.ZeroLaunchOverhead {
+				cpuExposed[r] = cpuExposedBase + gcCost(o.CPU, launches)
+			}
+		}
+
+		// Per-rank start offset: data pipeline wait.
+		now := make([]time.Duration, ranks)
+		var stepDataWait time.Duration
+		for r := 0; r < ranks; r++ {
+			w := dataWaits[r][step]
+			if o.PerfectBalance {
+				w = 0
+			}
+			now[r] = w
+			stepDataWait += w
+		}
+		bk.DataWait += stepDataWait / time.Duration(ranks)
+		stepData = append(stepData, stepDataWait/time.Duration(ranks))
+
+		// March through sync intervals.
+		perRankChunk := gpuCompute / time.Duration(intervals)
+		perRankCPUChunk := func(r int) time.Duration { return cpuExposed[r] / time.Duration(intervals) }
+
+		var commWaitAcc, xferAcc time.Duration
+		if plan.Degree > 1 && syncEvents > 0 {
+			// Cost of one sync event (mean over kinds) plus the NCCL kernel
+			// launch latency, which CUDA graphs absorb into the graph.
+			evCost := xferPerStep / time.Duration(syncEvents)
+			if !o.CUDAGraph {
+				evCost += 2 * o.Arch.LaunchOverhead
+			}
+			for ev := 0; ev < syncEvents; ev++ {
+				// Advance each rank by its chunk, then sync within each DAP
+				// group.
+				for g := 0; g < plan.DPWays; g++ {
+					base := g * plan.Degree
+					var mx time.Duration
+					for i := 0; i < plan.Degree; i++ {
+						r := base + i
+						now[r] += advance(r, perRankChunk, perRankCPUChunk(r))
+						if now[r] > mx {
+							mx = now[r]
+						}
+					}
+					for i := 0; i < plan.Degree; i++ {
+						r := base + i
+						commWaitAcc += (mx - now[r]) / time.Duration(ranks)
+						now[r] = mx + evCost
+					}
+				}
+				xferAcc += evCost
+			}
+			// Remaining compute after the last sync.
+			for r := 0; r < ranks; r++ {
+				now[r] += advance(r, perRankChunk, perRankCPUChunk(r))
+			}
+		} else {
+			for r := 0; r < ranks; r++ {
+				now[r] += advance(r, gpuCompute, cpuExposed[r])
+			}
+		}
+
+		// Data-parallel gradient all-reduce: global barrier.
+		var mx, sum time.Duration
+		for r := 0; r < ranks; r++ {
+			if now[r] > mx {
+				mx = now[r]
+			}
+			sum += now[r]
+		}
+		drWait := mx - sum/time.Duration(ranks)
+		commWaitAcc += drWait
+		arCost := o.Topo.AllReduce(plan.DPWays, prog.GradBytes/float64(plan.Degree))
+		// Gradient clipping: bucketed clip hides under the all-reduce.
+		clipTime := time.Duration(prog.ClipKernels) * o.Arch.LaunchOverhead
+		visible, _ := comm.OverlapGradClip(arCost, clipTime)
+		clipExposed := visible - arCost
+		stepEnd := mx + visible
+
+		total += stepEnd
+		stepTimes = append(stepTimes, stepEnd)
+		stepComm = append(stepComm, commWaitAcc)
+		bk.CommWait += commWaitAcc
+		bk.CommXfer += xferAcc + arCost
+		bk.ClipExposed += clipExposed
+		var cpuMean time.Duration
+		for r := 0; r < ranks; r++ {
+			cpuMean += cpuExposed[r]
+		}
+		bk.CPUExposed += cpuMean / time.Duration(ranks)
+	}
+
+	n := time.Duration(o.Steps)
+	bk.GPUCompute = gpuCompute
+	bk.SerialPart = serialPart
+	bk.CPUExposed /= n
+	bk.DataWait /= n
+	bk.CommXfer /= n
+	bk.CommWait /= n
+	bk.ClipExposed /= n
+	for _, sl := range [][]time.Duration{stepTimes, stepComm, stepData} {
+		sort.Slice(sl, func(i, j int) bool { return sl[i] < sl[j] })
+	}
+	bk.CommWaitMedian = stepComm[len(stepComm)/2]
+	bk.DataWaitMedian = stepData[len(stepData)/2]
+	return Result{
+		MeanStep:     total / n,
+		MedianStep:   stepTimes[len(stepTimes)/2],
+		Break:        bk,
+		Plan:         plan,
+		GraphCapture: graphCapture,
+	}
+}
+
+func sqrtF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 24; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// gcCost is the per-step host stall from Python garbage collection: the
+// interpreter still traverses its object graph proportionally to the amount
+// of per-step Python work (approximated by the traced launch count), whether
+// or not the kernels themselves were replayed from a CUDA graph.
+func gcCost(c gpu.CPUModel, launches int) time.Duration {
+	if !c.GCEnabled || c.GCInterval <= 0 {
+		return 0
+	}
+	return time.Duration(launches/c.GCInterval) * c.GCPause
+}
+
+// StepSeconds is a convenience returning the mean step time in seconds.
+func StepSeconds(prog *workload.Program, ranks, dapDegree int, o Options) float64 {
+	return sim.Sec(Simulate(prog, ranks, dapDegree, o).MeanStep)
+}

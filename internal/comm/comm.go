@@ -1,0 +1,123 @@
+// Package comm models the collective-communication layer (NCCL over
+// NVLink/InfiniBand) for the cluster simulator: analytic latency+bandwidth
+// cost models for the collectives ScaleFold's parallelization uses —
+// ring all-reduce for data-parallel gradients, all-gather and all-to-all for
+// DAP's activation redistribution — plus the gradient-bucket overlap
+// accounting that hides gradient clipping under communication (§3.3.1).
+package comm
+
+import (
+	"time"
+)
+
+// Topology describes link performance between ranks.
+type Topology struct {
+	// IntraBW is per-GPU NVLink bandwidth (bytes/s) inside a node;
+	// InterBW is the per-GPU InfiniBand bandwidth across nodes.
+	IntraBW, InterBW float64
+	// IntraLat / InterLat are per-hop latencies.
+	IntraLat, InterLat time.Duration
+	// GPUsPerNode bounds the intra-node group size (8 on Eos).
+	GPUsPerNode int
+}
+
+// Eos returns the topology of the NVIDIA Eos-like cluster used in the
+// paper's evaluation: 8×H100 NVLink nodes on Quantum-2 InfiniBand.
+func Eos() Topology {
+	return Topology{
+		IntraBW:     350e9,
+		InterBW:     45e9,
+		IntraLat:    4 * time.Microsecond,
+		InterLat:    12 * time.Microsecond,
+		GPUsPerNode: 8,
+	}
+}
+
+// linkFor returns the effective bandwidth and latency for a group of n
+// ranks: groups within one node ride NVLink; larger groups are limited by
+// the inter-node fabric.
+func (t Topology) linkFor(n int) (bw float64, lat time.Duration) {
+	if n <= t.GPUsPerNode {
+		return t.IntraBW, t.IntraLat
+	}
+	return t.InterBW, t.InterLat
+}
+
+// AllReduce returns the time for a ring all-reduce of `bytes` over n ranks:
+// 2(n-1)/n of the data crosses each link, with 2(n-1) latency hops.
+func (t Topology) AllReduce(n int, bytes float64) time.Duration {
+	if n <= 1 {
+		return 0
+	}
+	bw, lat := t.linkFor(n)
+	sec := 2 * float64(n-1) / float64(n) * bytes / bw
+	return time.Duration(sec*float64(time.Second)) + time.Duration(2*(n-1))*lat
+}
+
+// AllGather returns the ring all-gather time: (n-1)/n of the output volume
+// per link, n-1 hops.
+func (t Topology) AllGather(n int, bytes float64) time.Duration {
+	if n <= 1 {
+		return 0
+	}
+	bw, lat := t.linkFor(n)
+	sec := float64(n-1) / float64(n) * bytes / bw
+	return time.Duration(sec*float64(time.Second)) + time.Duration(n-1)*lat
+}
+
+// AllToAll returns the all-to-all time: each rank exchanges (n-1)/n of its
+// buffer, pairwise.
+func (t Topology) AllToAll(n int, bytes float64) time.Duration {
+	if n <= 1 {
+		return 0
+	}
+	bw, lat := t.linkFor(n)
+	sec := float64(n-1) / float64(n) * bytes / bw
+	return time.Duration(sec*float64(time.Second)) + time.Duration(n-1)*lat
+}
+
+// Op identifies a collective kind.
+type Op int
+
+// Collective kinds used by the step program.
+const (
+	OpAllReduce Op = iota
+	OpAllGather
+	OpAllToAll
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpAllReduce:
+		return "all-reduce"
+	case OpAllGather:
+		return "all-gather"
+	case OpAllToAll:
+		return "all-to-all"
+	}
+	return "?"
+}
+
+// Cost dispatches to the matching collective model.
+func (t Topology) Cost(op Op, n int, bytes float64) time.Duration {
+	switch op {
+	case OpAllReduce:
+		return t.AllReduce(n, bytes)
+	case OpAllGather:
+		return t.AllGather(n, bytes)
+	case OpAllToAll:
+		return t.AllToAll(n, bytes)
+	}
+	return 0
+}
+
+// OverlapGradClip models §3.3.1's reordered gradient clipping: the norm is
+// computed from the DDP flat buckets while the all-reduce of those same
+// buckets is in flight, so the visible cost is max(comm, clip) instead of
+// comm+clip. It returns the visible time and the amount hidden.
+func OverlapGradClip(comm, clip time.Duration) (visible, hidden time.Duration) {
+	if clip <= comm {
+		return comm, clip
+	}
+	return clip, comm
+}

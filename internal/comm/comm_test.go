@@ -1,0 +1,82 @@
+package comm
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAllReduceScaling(t *testing.T) {
+	topo := Eos()
+	// Zero for the degenerate single-rank group.
+	if topo.AllReduce(1, 1e9) != 0 {
+		t.Fatal("n=1 all-reduce must be free")
+	}
+	// More bytes cost more.
+	if topo.AllReduce(8, 2e9) <= topo.AllReduce(8, 1e9) {
+		t.Fatal("volume must increase cost")
+	}
+	// Crossing node boundaries is slower (lower bandwidth).
+	intra := topo.AllReduce(8, 1e9)
+	inter := topo.AllReduce(16, 1e9)
+	if inter <= intra {
+		t.Fatal("inter-node collective must cost more")
+	}
+}
+
+func TestRingAllReduceApproachesTwiceBandwidth(t *testing.T) {
+	topo := Eos()
+	// For large n, time → 2·bytes/bw; check within 15% at n=512.
+	bytes := 1e9
+	got := topo.AllReduce(512, bytes).Seconds()
+	ideal := 2 * bytes / topo.InterBW
+	if got < ideal || got > ideal*1.3 {
+		t.Fatalf("ring allreduce %v vs ideal %v", got, ideal)
+	}
+}
+
+func TestAllGatherCheaperThanAllReduce(t *testing.T) {
+	topo := Eos()
+	if topo.AllGather(8, 1e9) >= topo.AllReduce(8, 1e9) {
+		t.Fatal("all-gather moves half the volume of all-reduce")
+	}
+}
+
+func TestCostDispatch(t *testing.T) {
+	topo := Eos()
+	if topo.Cost(OpAllReduce, 4, 1e8) != topo.AllReduce(4, 1e8) {
+		t.Fatal("dispatch all-reduce")
+	}
+	if topo.Cost(OpAllGather, 4, 1e8) != topo.AllGather(4, 1e8) {
+		t.Fatal("dispatch all-gather")
+	}
+	if topo.Cost(OpAllToAll, 4, 1e8) != topo.AllToAll(4, 1e8) {
+		t.Fatal("dispatch all-to-all")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	if OpAllReduce.String() != "all-reduce" || OpAllGather.String() != "all-gather" || OpAllToAll.String() != "all-to-all" {
+		t.Fatal("op strings")
+	}
+}
+
+func TestOverlapGradClip(t *testing.T) {
+	// Clip shorter than comm: fully hidden.
+	vis, hidden := OverlapGradClip(100*time.Millisecond, 20*time.Millisecond)
+	if vis != 100*time.Millisecond || hidden != 20*time.Millisecond {
+		t.Fatalf("vis=%v hidden=%v", vis, hidden)
+	}
+	// Clip longer than comm: excess is visible.
+	vis, hidden = OverlapGradClip(10*time.Millisecond, 30*time.Millisecond)
+	if vis != 30*time.Millisecond || hidden != 10*time.Millisecond {
+		t.Fatalf("vis=%v hidden=%v", vis, hidden)
+	}
+}
+
+func TestLatencyDominatesTinyMessages(t *testing.T) {
+	topo := Eos()
+	tiny := topo.AllToAll(8, 16)
+	if tiny < 7*topo.IntraLat {
+		t.Fatalf("tiny message should be latency-bound: %v", tiny)
+	}
+}

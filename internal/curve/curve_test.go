@@ -1,0 +1,103 @@
+package curve
+
+import (
+	"testing"
+	"time"
+)
+
+func testSchedule() Schedule {
+	return PaperSchedule(450*time.Millisecond, 600*time.Millisecond)
+}
+
+func TestInitialTargetMetBeforeSwitch(t *testing.T) {
+	s := testSchedule()
+	// "Training metric avg_lddt_ca must exceed 0.8 before first 5000
+	// training steps" (§4.2).
+	st := s.StepsToTarget(0.8)
+	if st < 0 || st > 5000 {
+		t.Fatalf("0.8 reached at step %d, must be within the first 5000", st)
+	}
+}
+
+func TestFinalTargetInPaperRange(t *testing.T) {
+	s := testSchedule()
+	st := s.StepsToTarget(0.9)
+	if st < 50000 || st > 60000 {
+		t.Fatalf("0.9 reached at step %d, paper: 50000-60000", st)
+	}
+}
+
+func TestWallTimeUnderTenHours(t *testing.T) {
+	res := testSchedule().Pretrain()
+	if !res.MetInitial {
+		t.Fatal("initial gate must be met")
+	}
+	if res.WallTime >= 10*time.Hour {
+		t.Fatalf("pretraining wall time %v, paper: < 10 h", res.WallTime)
+	}
+	if res.WallTime < 4*time.Hour {
+		t.Fatalf("wall time %v implausibly fast", res.WallTime)
+	}
+}
+
+func TestCurveMonotoneModuloNoise(t *testing.T) {
+	s := testSchedule()
+	s.Noise = 0
+	prev := -1.0
+	for step := 0; step <= 60000; step += 500 {
+		v := s.LDDTAt(step)
+		if v < prev-1e-9 {
+			t.Fatalf("smooth curve must be non-decreasing at step %d: %v < %v", step, v, prev)
+		}
+		if v < 0 || v > 1 {
+			t.Fatalf("lddt out of range: %v", v)
+		}
+		prev = v
+	}
+}
+
+func TestCurveContinuousAtSwitch(t *testing.T) {
+	s := testSchedule()
+	s.Noise = 0
+	before := s.LDDTAt(s.SwitchStep)
+	after := s.LDDTAt(s.SwitchStep + 1)
+	if after < before-1e-6 || after-before > 0.01 {
+		t.Fatalf("discontinuity at batch-size switch: %v -> %v", before, after)
+	}
+}
+
+func TestCurvePointsCarryGBS(t *testing.T) {
+	pts := testSchedule().Curve(2500, 10000)
+	if len(pts) != 5 {
+		t.Fatalf("points %d", len(pts))
+	}
+	if pts[0].GBS != 128 || pts[1].GBS != 128 || pts[4].GBS != 256 {
+		t.Fatalf("GBS phases wrong: %+v", pts)
+	}
+}
+
+func TestNoiseIsDeterministicPerSeed(t *testing.T) {
+	a := testSchedule()
+	b := testSchedule()
+	if a.LDDTAt(1234) != b.LDDTAt(1234) {
+		t.Fatal("same seed must give the same noisy curve")
+	}
+	b.Seed = 99
+	diff := false
+	for step := 100; step < 2000; step += 100 {
+		if a.LDDTAt(step) != b.LDDTAt(step) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seed should change the noise")
+	}
+}
+
+func TestUnreachableTarget(t *testing.T) {
+	s := testSchedule()
+	if s.StepsToTarget(0.99) != -1 {
+		t.Fatal("0.99 exceeds the ceiling and must be unreachable")
+	}
+}

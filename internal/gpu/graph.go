@@ -1,0 +1,43 @@
+package gpu
+
+import "time"
+
+// GraphCache implements the CUDA Graph cache of §3.2: AlphaFold's recycling
+// makes the traced kernel sequence depend on the per-sample recycling count,
+// so a single captured graph would be invalidated constantly. The cache
+// keeps one captured graph per recycling scenario; the first execution of a
+// scenario pays the capture cost, later executions pay only the replay
+// overhead.
+type GraphCache struct {
+	captured map[int]bool
+	// CaptureCost is the one-time cost of tracing the step into a graph
+	// (roughly one eager step of extra CPU work).
+	CaptureCost time.Duration
+}
+
+// NewGraphCache returns an empty cache with the given capture cost.
+func NewGraphCache(captureCost time.Duration) *GraphCache {
+	return &GraphCache{captured: map[int]bool{}, CaptureCost: captureCost}
+}
+
+// Launch returns the CPU cost of executing a step with `launches` kernels
+// under the graph for recycling scenario `key`: the capture cost on first
+// sight of the key plus one replay, or just one replay thereafter. The
+// per-kernel CPU launch overhead — and with it the sensitivity to CPU
+// peaks — disappears entirely.
+func (g *GraphCache) Launch(a Arch, key int, launches int, c CPUModel, eagerRNGCost time.Duration) time.Duration {
+	cost := a.GraphReplayOverhead
+	if !g.captured[key] {
+		g.captured[key] = true
+		cap := g.CaptureCost
+		if cap == 0 {
+			// Default: capture costs one eager pass of launch work.
+			cap = time.Duration(launches) * a.LaunchOverhead
+		}
+		cost += cap + eagerRNGCost
+	}
+	return cost
+}
+
+// Size returns the number of captured graphs.
+func (g *GraphCache) Size() int { return len(g.captured) }

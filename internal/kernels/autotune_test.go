@@ -1,0 +1,77 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTuneMHATilePicksValidCandidate(t *testing.T) {
+	p := MHAParams{B: 2, L: 32, H: 2, D: 8}
+	res := TuneMHATile(p, []int{1, 8, 32}, 1)
+	if res.Param != 1 && res.Param != 8 && res.Param != 32 {
+		t.Fatalf("winner %d not in candidate set", res.Param)
+	}
+	if res.Best <= 0 || res.Worst < res.Best {
+		t.Fatalf("timings inconsistent: best=%v worst=%v", res.Best, res.Worst)
+	}
+	if res.Gain() < 1 {
+		t.Fatalf("gain %v < 1", res.Gain())
+	}
+}
+
+func TestTuneMHATileSkipsOversizedTiles(t *testing.T) {
+	p := MHAParams{B: 1, L: 4, H: 1, D: 4}
+	res := TuneMHATile(p, []int{2, 4, 512}, 1)
+	if res.Param > 4 {
+		t.Fatalf("oversized tile %d selected", res.Param)
+	}
+}
+
+func TestTuneLNBlockRows(t *testing.T) {
+	res := TuneLNBlockRows(256, 64, []int{1, 16, 64}, 1)
+	if res.Param != 1 && res.Param != 16 && res.Param != 64 {
+		t.Fatalf("winner %d not in candidate set", res.Param)
+	}
+	if res.Trials != 3 {
+		t.Fatalf("trials %d", res.Trials)
+	}
+}
+
+func TestTunedMHACachesPerShape(t *testing.T) {
+	tuner := NewTunedMHA()
+	rng := rand.New(rand.NewSource(1))
+	run := func(p MHAParams) []float32 {
+		e := p.H * p.D
+		q, k, v, g := randSlice(rng, p.B*p.L*e), randSlice(rng, p.B*p.L*e), randSlice(rng, p.B*p.L*e), randSlice(rng, p.B*p.L*e)
+		bias := randSlice(rng, p.H*p.L*p.L)
+		var st Stats
+		return tuner.Run(p, q, k, v, g, bias, nil, &st)
+	}
+	pA := MHAParams{B: 1, L: 16, H: 2, D: 4}
+	pB := MHAParams{B: 2, L: 8, H: 2, D: 4}
+	run(pA)
+	run(pA)
+	if tuner.CachedShapes() != 1 {
+		t.Fatalf("repeat shape must reuse the tuned tile, cache=%d", tuner.CachedShapes())
+	}
+	run(pB)
+	if tuner.CachedShapes() != 2 {
+		t.Fatalf("new shape must tune again, cache=%d", tuner.CachedShapes())
+	}
+}
+
+func TestTunedMHAMatchesUntuned(t *testing.T) {
+	// The tuned kernel must be numerically identical to any fixed tile.
+	tuner := NewTunedMHA()
+	rng := rand.New(rand.NewSource(2))
+	p := MHAParams{B: 2, L: 12, H: 2, D: 4}
+	e := p.H * p.D
+	q, k, v, g := randSlice(rng, p.B*p.L*e), randSlice(rng, p.B*p.L*e), randSlice(rng, p.B*p.L*e), randSlice(rng, p.B*p.L*e)
+	bias := randSlice(rng, p.H*p.L*p.L)
+	var st1, st2 Stats
+	got := tuner.Run(p, q, k, v, g, bias, nil, &st1)
+	want := MHAFused(p, q, k, v, g, bias, nil, 7, &st2)
+	if d := maxDiff(got, want); d > 1e-4 {
+		t.Fatalf("tuned kernel diverges by %v", d)
+	}
+}

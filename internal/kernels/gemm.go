@@ -1,0 +1,84 @@
+package kernels
+
+// ProjectionWeights holds the four independent linear layers that feed the
+// AlphaFold MHA block (Q, K, V and the sigmoid gate — the dashed blue box of
+// Figure 6). Each weight is [K, M] row-major; biases are optional [M].
+type ProjectionWeights struct {
+	WQ, WK, WV, WG []float32
+	K, M           int
+}
+
+// ProjectSeparate computes the four projections the baseline way: four
+// independent GEMM launches, each streaming the whole input x [N, K] again.
+func ProjectSeparate(x []float32, n int, w ProjectionWeights, st *Stats) (q, k, v, g []float32) {
+	q = gemm(x, w.WQ, n, w.K, w.M)
+	st.launch(n*w.K+w.K*w.M, n*w.M)
+	k = gemm(x, w.WK, n, w.K, w.M)
+	st.launch(n*w.K+w.K*w.M, n*w.M)
+	v = gemm(x, w.WV, n, w.K, w.M)
+	st.launch(n*w.K+w.K*w.M, n*w.M)
+	g = gemm(x, w.WG, n, w.K, w.M)
+	st.launch(n*w.K+w.K*w.M, n*w.M)
+	return q, k, v, g
+}
+
+// ProjectBatched bundles the four layers into one batched GEMM (§3.3.1 GEMM
+// Batching): the weights act as a single [K, 4M] matrix, so x is streamed
+// once and the degree of parallelism quadruples. One launch.
+func ProjectBatched(x []float32, n int, w ProjectionWeights, st *Stats) (q, k, v, g []float32) {
+	K, M := w.K, w.M
+	out := make([]float32, n*4*M)
+	for i := 0; i < n; i++ {
+		xi := x[i*K : (i+1)*K]
+		oi := out[i*4*M : (i+1)*4*M]
+		for p := 0; p < K; p++ {
+			xv := xi[p]
+			if xv == 0 {
+				continue
+			}
+			wq := w.WQ[p*M : (p+1)*M]
+			wk := w.WK[p*M : (p+1)*M]
+			wv := w.WV[p*M : (p+1)*M]
+			wg := w.WG[p*M : (p+1)*M]
+			for j := 0; j < M; j++ {
+				oi[j] += xv * wq[j]
+				oi[M+j] += xv * wk[j]
+				oi[2*M+j] += xv * wv[j]
+				oi[3*M+j] += xv * wg[j]
+			}
+		}
+	}
+	st.launch(n*K+4*K*M, n*4*M)
+	// Unpack views into contiguous per-projection buffers.
+	q = make([]float32, n*M)
+	k = make([]float32, n*M)
+	v = make([]float32, n*M)
+	g = make([]float32, n*M)
+	for i := 0; i < n; i++ {
+		copy(q[i*M:(i+1)*M], out[i*4*M:i*4*M+M])
+		copy(k[i*M:(i+1)*M], out[i*4*M+M:i*4*M+2*M])
+		copy(v[i*M:(i+1)*M], out[i*4*M+2*M:i*4*M+3*M])
+		copy(g[i*M:(i+1)*M], out[i*4*M+3*M:i*4*M+4*M])
+	}
+	return q, k, v, g
+}
+
+// gemm computes C = A·B for A [n,k] and B [k,m], all row-major.
+func gemm(a, b []float32, n, k, m int) []float32 {
+	c := make([]float32, n*m)
+	for i := 0; i < n; i++ {
+		ai := a[i*k : (i+1)*k]
+		ci := c[i*m : (i+1)*m]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			if av == 0 {
+				continue
+			}
+			bp := b[p*m : (p+1)*m]
+			for j := 0; j < m; j++ {
+				ci[j] += av * bp[j]
+			}
+		}
+	}
+	return c
+}

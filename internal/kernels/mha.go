@@ -1,0 +1,216 @@
+package kernels
+
+import "math"
+
+// MHAParams bundles the dimensions of the AlphaFold attention variant:
+// B independent attention problems (e.g. MSA rows), sequence length L,
+// H heads of size D. Inputs q, k, v, gate are [B, L, H*D]; bias is
+// [H, L, L] shared across B (the pair-representation bias of Figure 6);
+// mask is [B, L] (1 keep / 0 drop) or nil.
+type MHAParams struct {
+	B, L, H, D int
+}
+
+func (p MHAParams) e() int { return p.H * p.D }
+
+// MHARef executes the attention the fragmented baseline way: every
+// elementary step is its own kernel with a materialized intermediate —
+// logits, biased logits, masked logits, softmax, context, sigmoid gate,
+// gated output. This is the op chain inside the dashed green box of
+// Figure 6 before fusion.
+func MHARef(p MHAParams, q, k, v, gate, bias, mask []float32, st *Stats) []float32 {
+	B, L, H, D, E := p.B, p.L, p.H, p.D, p.e()
+	scale := float32(1 / math.Sqrt(float64(D)))
+	nLogits := B * H * L * L
+
+	// Kernel 1: logits = scale · QKᵀ, materialized [B,H,L,L].
+	logits := make([]float32, nLogits)
+	for b := 0; b < B; b++ {
+		for h := 0; h < H; h++ {
+			for i := 0; i < L; i++ {
+				qRow := q[(b*L+i)*E+h*D : (b*L+i)*E+(h+1)*D]
+				out := logits[((b*H+h)*L+i)*L : ((b*H+h)*L+i+1)*L]
+				for j := 0; j < L; j++ {
+					kRow := k[(b*L+j)*E+h*D : (b*L+j)*E+(h+1)*D]
+					var s float32
+					for d := 0; d < D; d++ {
+						s += qRow[d] * kRow[d]
+					}
+					out[j] = s * scale
+				}
+			}
+		}
+	}
+	st.launch(2*B*L*E, nLogits)
+
+	// Kernel 2: add pair bias.
+	for b := 0; b < B; b++ {
+		for h := 0; h < H; h++ {
+			for i := 0; i < L; i++ {
+				out := logits[((b*H+h)*L+i)*L : ((b*H+h)*L+i+1)*L]
+				brow := bias[(h*L+i)*L : (h*L+i+1)*L]
+				for j := 0; j < L; j++ {
+					out[j] += brow[j]
+				}
+			}
+		}
+	}
+	st.launch(nLogits+H*L*L, nLogits)
+
+	// Kernel 3: apply MSA mask.
+	if mask != nil {
+		for b := 0; b < B; b++ {
+			for h := 0; h < H; h++ {
+				for i := 0; i < L; i++ {
+					out := logits[((b*H+h)*L+i)*L : ((b*H+h)*L+i+1)*L]
+					for j := 0; j < L; j++ {
+						if mask[b*L+j] == 0 {
+							out[j] = -1e9
+						}
+					}
+				}
+			}
+		}
+		st.launch(nLogits+B*L, nLogits)
+	}
+
+	// Kernel 4: softmax, materialized probabilities.
+	probs := make([]float32, nLogits)
+	for r := 0; r < B*H*L; r++ {
+		row := logits[r*L : (r+1)*L]
+		out := probs[r*L : (r+1)*L]
+		mx := float32(math.Inf(-1))
+		for _, x := range row {
+			if x > mx {
+				mx = x
+			}
+		}
+		var sum float32
+		for j, x := range row {
+			e := float32(math.Exp(float64(x - mx)))
+			out[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range out {
+			out[j] *= inv
+		}
+	}
+	st.launch(nLogits, nLogits)
+
+	// Kernel 5: context = P·V.
+	ctx := make([]float32, B*L*E)
+	for b := 0; b < B; b++ {
+		for h := 0; h < H; h++ {
+			for i := 0; i < L; i++ {
+				pRow := probs[((b*H+h)*L+i)*L : ((b*H+h)*L+i+1)*L]
+				out := ctx[(b*L+i)*E+h*D : (b*L+i)*E+(h+1)*D]
+				for j := 0; j < L; j++ {
+					pv := pRow[j]
+					if pv == 0 {
+						continue
+					}
+					vRow := v[(b*L+j)*E+h*D : (b*L+j)*E+(h+1)*D]
+					for d := 0; d < D; d++ {
+						out[d] += pv * vRow[d]
+					}
+				}
+			}
+		}
+	}
+	st.launch(nLogits+B*L*E, B*L*E)
+
+	// Kernel 6: sigmoid of the gate projection, materialized.
+	sg := make([]float32, B*L*E)
+	for i, x := range gate {
+		sg[i] = float32(1 / (1 + math.Exp(-float64(x))))
+	}
+	st.launch(B*L*E, B*L*E)
+
+	// Kernel 7: gated output.
+	out := make([]float32, B*L*E)
+	for i := range out {
+		out[i] = ctx[i] * sg[i]
+	}
+	st.launch(2*B*L*E, B*L*E)
+	return out
+}
+
+// MHAFused mirrors the paper's FlashAttention-based Triton kernel extended
+// with the pair-bias term (§3.3.1 MHA): a single launch that streams key
+// tiles with an online softmax, never materializing the [L,L] logits or
+// probability matrices, and applies mask, bias and sigmoid gating inline.
+// tile is the key-tile size (the Triton autotuner's BLOCK_N analogue).
+func MHAFused(p MHAParams, q, k, v, gate, bias, mask []float32, tile int, st *Stats) []float32 {
+	B, L, H, D, E := p.B, p.L, p.H, p.D, p.e()
+	scale := float32(1 / math.Sqrt(float64(D)))
+	if tile <= 0 {
+		tile = 32
+	}
+	out := make([]float32, B*L*E)
+	acc := make([]float32, D)
+	logit := make([]float32, tile)
+	for b := 0; b < B; b++ {
+		for h := 0; h < H; h++ {
+			for i := 0; i < L; i++ {
+				qRow := q[(b*L+i)*E+h*D : (b*L+i)*E+(h+1)*D]
+				biasRow := bias[(h*L+i)*L : (h*L+i+1)*L]
+				// Online softmax state: running max m, running sum l.
+				m := float32(math.Inf(-1))
+				var l float32
+				for d := range acc {
+					acc[d] = 0
+				}
+				for j0 := 0; j0 < L; j0 += tile {
+					j1 := j0 + tile
+					if j1 > L {
+						j1 = L
+					}
+					tileMax := float32(math.Inf(-1))
+					for j := j0; j < j1; j++ {
+						kRow := k[(b*L+j)*E+h*D : (b*L+j)*E+(h+1)*D]
+						var s float32
+						for d := 0; d < D; d++ {
+							s += qRow[d] * kRow[d]
+						}
+						s = s*scale + biasRow[j]
+						if mask != nil && mask[b*L+j] == 0 {
+							s = -1e9
+						}
+						logit[j-j0] = s
+						if s > tileMax {
+							tileMax = s
+						}
+					}
+					newM := m
+					if tileMax > newM {
+						newM = tileMax
+					}
+					correction := float32(math.Exp(float64(m - newM)))
+					l *= correction
+					for d := 0; d < D; d++ {
+						acc[d] *= correction
+					}
+					for j := j0; j < j1; j++ {
+						e := float32(math.Exp(float64(logit[j-j0] - newM)))
+						l += e
+						vRow := v[(b*L+j)*E+h*D : (b*L+j)*E+(h+1)*D]
+						for d := 0; d < D; d++ {
+							acc[d] += e * vRow[d]
+						}
+					}
+					m = newM
+				}
+				inv := 1 / l
+				oRow := out[(b*L+i)*E+h*D : (b*L+i)*E+(h+1)*D]
+				gRow := gate[(b*L+i)*E+h*D : (b*L+i)*E+(h+1)*D]
+				for d := 0; d < D; d++ {
+					s := float32(1 / (1 + math.Exp(-float64(gRow[d]))))
+					oRow[d] = acc[d] * inv * s
+				}
+			}
+		}
+	}
+	st.launch(4*B*L*E+H*L*L, B*L*E)
+	return out
+}

@@ -1,0 +1,110 @@
+package mlperf
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestReferenceRunShape(t *testing.T) {
+	bd := TimeToTrain(ReferenceRun(4400 * time.Millisecond))
+	total := bd.Total()
+	if total < 40*time.Minute || total > 60*time.Minute {
+		t.Fatalf("reference TTT %v, paper reports ~48 min", total)
+	}
+	s := bd.Shares()
+	if s["train"] < 0.65 || s["train"] > 0.9 {
+		t.Fatalf("reference train share %v, paper ~78%%", s["train"])
+	}
+	if s["eval"] < 0.1 || s["eval"] > 0.35 {
+		t.Fatalf("reference eval share %v, paper ~22%%", s["eval"])
+	}
+}
+
+func TestAsyncEvalBeatsSync(t *testing.T) {
+	step := 550 * time.Millisecond
+	sync := TimeToTrain(ScaleFoldRun(step, false))
+	async := TimeToTrain(ScaleFoldRun(step, true))
+	if async.Total() >= sync.Total() {
+		t.Fatalf("async eval must be faster: %v vs %v", async.Total(), sync.Total())
+	}
+	if async.TrainEvalComm == 0 {
+		t.Fatal("async eval must pay weight-transfer communication")
+	}
+	if sync.TrainEvalComm != 0 {
+		t.Fatal("sync eval has no train/eval comm")
+	}
+}
+
+func TestEvalShareGrowsAsStepsShrink(t *testing.T) {
+	// Figure 9's observation: "as we continuously optimize step time, the
+	// proportion of evaluation time continues to increase" (22% -> 43%).
+	slow := TimeToTrain(ScaleFoldRun(2*time.Second, false)).Shares()
+	fast := TimeToTrain(ScaleFoldRun(400*time.Millisecond, false)).Shares()
+	if fast["eval"] <= slow["eval"] {
+		t.Fatalf("eval share must grow as steps shrink: %v -> %v", slow["eval"], fast["eval"])
+	}
+}
+
+func TestCachingPreventsEvalBottleneck(t *testing.T) {
+	step := 550 * time.Millisecond
+	cached := ScaleFoldRun(step, true)
+	uncached := cached
+	uncached.CachedEvalData = false
+	bc := TimeToTrain(cached)
+	bu := TimeToTrain(uncached)
+	if bu.Eval <= bc.Eval {
+		t.Fatal("uncached eval data must stall the async pipeline (§3.4)")
+	}
+}
+
+func TestSharesSumToOne(t *testing.T) {
+	for _, c := range []Config{
+		ReferenceRun(4 * time.Second),
+		ScaleFoldRun(500*time.Millisecond, false),
+		ScaleFoldRun(500*time.Millisecond, true),
+	} {
+		s := TimeToTrain(c).Shares()
+		var sum float64
+		for _, v := range s {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("shares sum to %v", sum)
+		}
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TimeToTrain(Config{StepsToTarget: 0, EvalEvery: 100})
+}
+
+func TestAsyncWithoutEvalRanksPanics(t *testing.T) {
+	c := MLPerfDefaults()
+	c.StepTime = time.Second
+	c.AsyncEval = true
+	c.EvalRanks = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TimeToTrain(c)
+}
+
+func TestTrainTimeLinearInSteps(t *testing.T) {
+	c := MLPerfDefaults()
+	c.StepTime = time.Second
+	c.TrainRanks = 8
+	a := TimeToTrain(c)
+	c.StepsToTarget *= 2
+	b := TimeToTrain(c)
+	if b.Train != 2*a.Train {
+		t.Fatalf("train time must scale with steps: %v vs %v", a.Train, b.Train)
+	}
+}

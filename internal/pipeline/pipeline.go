@@ -1,0 +1,273 @@
+// Package pipeline implements the data pipelines compared in Figure 5:
+//
+//   - BlockingLoader reproduces the default PyTorch DataLoader contract:
+//     batches are delivered strictly in sampler order, so one slow batch
+//     stalls the trainer even when later batches are already prepared.
+//   - NonBlockingLoader is the paper's design (§3.2): worker goroutines
+//     deposit finished batches into a priority queue keyed by batch index,
+//     and Next yields whichever prepared batch has the lowest index *right
+//     now* — a slow batch is simply overtaken and delivered later.
+//
+// Both loaders are real concurrent code (goroutines, channels, a heap) and
+// are exercised by unit tests and the examples/pipeline demo. The cluster
+// simulator uses the analytic twin in analytic.go, which replays the same
+// semantics on virtual time so thousand-rank simulations don't need
+// wall-clock sleeps.
+package pipeline
+
+import (
+	"container/heap"
+	"context"
+	"sync"
+	"time"
+)
+
+// Batch is a prepared training batch. Payload is opaque to the pipeline.
+type Batch struct {
+	Index    int           // position in the sampler order
+	PrepTime time.Duration // how long preparation took
+	Payload  interface{}
+}
+
+// Source produces work items: the sampler order and each item's preparation
+// cost. Prepare is called from worker goroutines and must be safe for
+// concurrent use.
+type Source interface {
+	// Len returns the number of batches in the epoch.
+	Len() int
+	// Prepare builds batch i, blocking for its preparation time.
+	Prepare(ctx context.Context, i int) (Batch, error)
+}
+
+// Loader yields prepared batches.
+type Loader interface {
+	// Next blocks until a batch is available. It returns false when the
+	// epoch is exhausted or the context is cancelled.
+	Next(ctx context.Context) (Batch, bool)
+	// Stop cancels workers and releases resources.
+	Stop()
+}
+
+// ---------- Blocking (PyTorch-default) loader ----------
+
+// BlockingLoader delivers batches in strict sampler order. Workers prefetch
+// `prefetch` batches ahead, but delivery of batch i+1 cannot happen before
+// batch i is consumed — the Figure 5(i) behaviour.
+type BlockingLoader struct {
+	src     Source
+	workers int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ready   map[int]Batch
+	nextIdx int
+	issued  int
+	stop    context.CancelFunc
+	done    bool
+	wg      sync.WaitGroup
+}
+
+// NewBlocking starts a blocking loader with the given worker count.
+func NewBlocking(src Source, workers int) *BlockingLoader {
+	if workers < 1 {
+		workers = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	l := &BlockingLoader{src: src, workers: workers, ready: map[int]Batch{}, stop: cancel}
+	l.cond = sync.NewCond(&l.mu)
+	for w := 0; w < workers; w++ {
+		l.wg.Add(1)
+		go l.worker(ctx)
+	}
+	return l
+}
+
+func (l *BlockingLoader) worker(ctx context.Context) {
+	defer l.wg.Done()
+	for {
+		l.mu.Lock()
+		// In-order prefetch window: a worker may run at most `workers`
+		// batches ahead of the consumer, exactly like DataLoader's
+		// prefetch_factor bound.
+		for !l.done && (l.issued >= l.src.Len() || l.issued >= l.nextIdx+2*l.workers) {
+			l.cond.Wait()
+		}
+		if l.done || l.issued >= l.src.Len() {
+			l.mu.Unlock()
+			return
+		}
+		idx := l.issued
+		l.issued++
+		l.mu.Unlock()
+
+		b, err := l.src.Prepare(ctx, idx)
+		l.mu.Lock()
+		if err == nil {
+			l.ready[idx] = b
+		} else {
+			l.done = true
+		}
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	}
+}
+
+// Next returns the batch with index exactly nextIdx, waiting for it even if
+// later batches are already prepared (the blocking semantics under test).
+func (l *BlockingLoader) Next(ctx context.Context) (Batch, bool) {
+	stopOnCancel := context.AfterFunc(ctx, func() {
+		l.mu.Lock()
+		l.done = true
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	})
+	defer stopOnCancel()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.nextIdx >= l.src.Len() {
+		return Batch{}, false
+	}
+	for {
+		if b, ok := l.ready[l.nextIdx]; ok {
+			delete(l.ready, l.nextIdx)
+			l.nextIdx++
+			l.cond.Broadcast()
+			return b, true
+		}
+		if l.done {
+			return Batch{}, false
+		}
+		l.cond.Wait()
+	}
+}
+
+// Stop cancels the loader.
+func (l *BlockingLoader) Stop() {
+	l.mu.Lock()
+	l.done = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	l.stop()
+	l.wg.Wait()
+}
+
+// ---------- Non-blocking (ScaleFold) loader ----------
+
+// NonBlockingLoader yields whichever prepared batch has the lowest index at
+// the moment Next is called — the priority queue keyed by batch index of
+// §3.2. A slow batch never blocks delivery of a ready one.
+type NonBlockingLoader struct {
+	src     Source
+	workers int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pq       batchHeap
+	issued   int
+	inflight int
+	yielded  int
+	stop     context.CancelFunc
+	done     bool
+	wg       sync.WaitGroup
+}
+
+// NewNonBlocking starts a non-blocking loader.
+func NewNonBlocking(src Source, workers int) *NonBlockingLoader {
+	if workers < 1 {
+		workers = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	l := &NonBlockingLoader{src: src, workers: workers, stop: cancel}
+	l.cond = sync.NewCond(&l.mu)
+	for w := 0; w < workers; w++ {
+		l.wg.Add(1)
+		go l.worker(ctx)
+	}
+	return l
+}
+
+func (l *NonBlockingLoader) worker(ctx context.Context) {
+	defer l.wg.Done()
+	for {
+		l.mu.Lock()
+		for !l.done && (l.issued >= l.src.Len() || len(l.pq)+l.inflight >= 2*l.workers) {
+			l.cond.Wait()
+		}
+		if l.done || l.issued >= l.src.Len() {
+			l.mu.Unlock()
+			return
+		}
+		idx := l.issued
+		l.issued++
+		l.inflight++
+		l.mu.Unlock()
+
+		b, err := l.src.Prepare(ctx, idx)
+		l.mu.Lock()
+		l.inflight--
+		if err == nil {
+			heap.Push(&l.pq, b)
+		} else {
+			l.done = true
+		}
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	}
+}
+
+// Next pops the lowest-index *ready* batch, blocking only when nothing at
+// all is prepared.
+func (l *NonBlockingLoader) Next(ctx context.Context) (Batch, bool) {
+	stopOnCancel := context.AfterFunc(ctx, func() {
+		l.mu.Lock()
+		l.done = true
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	})
+	defer stopOnCancel()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.yielded >= l.src.Len() {
+			return Batch{}, false
+		}
+		if len(l.pq) > 0 {
+			b := heap.Pop(&l.pq).(Batch)
+			l.yielded++
+			l.cond.Broadcast()
+			return b, true
+		}
+		if l.done {
+			return Batch{}, false
+		}
+		l.cond.Wait()
+	}
+}
+
+// Stop cancels the loader.
+func (l *NonBlockingLoader) Stop() {
+	l.mu.Lock()
+	l.done = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	l.stop()
+	l.wg.Wait()
+}
+
+// batchHeap is a min-heap on batch index: the "priority queue, with the
+// batches' indices as the associated priorities" of §3.2.
+type batchHeap []Batch
+
+func (h batchHeap) Len() int           { return len(h) }
+func (h batchHeap) Less(i, j int) bool { return h[i].Index < h[j].Index }
+func (h batchHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *batchHeap) Push(x any)        { *h = append(*h, x.(Batch)) }
+func (h *batchHeap) Pop() any {
+	old := *h
+	n := len(old)
+	b := old[n-1]
+	*h = old[:n-1]
+	return b
+}

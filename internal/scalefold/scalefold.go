@@ -1,0 +1,349 @@
+// Package scalefold is the public facade of the reproduction: it encodes the
+// paper's experiment configurations — which optimizations are active in each
+// Figure 7 row, each Figure 8 ladder rung, and each Figure 3 ablation column
+// — and runs them on the workload census + cluster simulator. Downstream
+// users compose StepConfig values; the cmd/scalefold CLI and bench_test.go
+// call the experiment runners here.
+package scalefold
+
+import (
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/comm"
+	"repro/internal/dataset"
+	"repro/internal/gpu"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// StepConfig describes one training configuration to cost.
+type StepConfig struct {
+	Name  string
+	Arch  gpu.Arch
+	Ranks int
+	DAP   int
+
+	Census workload.Options
+
+	CUDAGraph   bool
+	NonBlocking bool
+	DisableGC   bool
+
+	Seed  int64
+	Steps int
+}
+
+func fullModelConfig() model.Config { return model.FullConfig() }
+
+// Run simulates the configuration and returns the cluster result.
+func (c StepConfig) Run() cluster.Result {
+	prog := workload.Census(fullModelConfig(), c.Census)
+	o := cluster.DefaultOptions(c.Seed)
+	o.Arch = c.Arch
+	o.CUDAGraph = c.CUDAGraph
+	o.NonBlockingPipeline = c.NonBlocking
+	if c.DisableGC {
+		o.CPU.GCEnabled = false
+	}
+	if c.Steps > 0 {
+		o.Steps = c.Steps
+	}
+	return cluster.Simulate(prog, c.Ranks, c.DAP, o)
+}
+
+// StepSeconds simulates and returns the median step time in seconds — the
+// quantity a step-time microbenchmark reports (rare data stalls excluded).
+func (c StepConfig) StepSeconds() float64 { return c.Run().MedianStep.Seconds() }
+
+// ReferenceConfig is the unoptimized OpenFold baseline on `ranks` GPUs.
+func ReferenceConfig(arch gpu.Arch, ranks int) StepConfig {
+	return StepConfig{
+		Name: "OpenFold reference (" + arch.Name + ")",
+		Arch: arch, Ranks: ranks, DAP: 1,
+		Census: workload.Baseline(),
+		Seed:   1,
+	}
+}
+
+// Figure7Config returns the ScaleFold configuration of a Figure 7 bar: the
+// fused-kernel + batched-GEMM + bf16 + non-blocking-dataloader training at
+// DAP-n. Per the Figure 8 ordering, torch.compile and GC-disable came later
+// than the Figure 7 step-time measurements, and CUDA Graph pays off only for
+// DAP >= 2 ("CudaGraph is not beneficial for DAP-1", §4.1), so those are
+// excluded/conditional here.
+func Figure7Config(arch gpu.Arch, ranks, dapN int) StepConfig {
+	cen := workload.Options{
+		FusedMHA: true, FusedLN: true, FusedAdamSWA: true,
+		BatchedGEMM: true, BF16: true, BucketedClip: true,
+		GradCheckpoint: dapN <= 1, // DAP frees memory; ckpt off for DAP>=2
+		Recycles:       3,
+		DAP:            dapN,
+	}
+	return StepConfig{
+		Name: "ScaleFold (" + arch.Name + ")",
+		Arch: arch, Ranks: ranks, DAP: dapN,
+		Census:      cen,
+		CUDAGraph:   dapN > 1,
+		NonBlocking: true,
+		Seed:        1,
+	}
+}
+
+// FastFoldConfig approximates FastFold: baseline kernels plus DAP (its DAP
+// contribution) with checkpointing still on and the stock dataloader.
+func FastFoldConfig(arch gpu.Arch, ranks, dapN int) StepConfig {
+	cen := workload.Baseline()
+	cen.DAP = dapN
+	cen.FusedMHA = true // FastFold ships its own fused attention kernels
+	cen.FusedLN = true
+	cen.GradCheckpoint = dapN <= 1
+	return StepConfig{
+		Name: "FastFold (" + arch.Name + ")",
+		Arch: arch, Ranks: ranks, DAP: dapN,
+		Census: cen,
+		Seed:   1,
+	}
+}
+
+// Fig7Row is one bar of Figure 7.
+type Fig7Row struct {
+	Label   string
+	Paper   float64 // step seconds reported in the paper
+	Config  StepConfig
+	Seconds float64 // measured by the simulator (filled by Figure7)
+}
+
+// Figure7 reproduces the step-time comparison of Figure 7.
+func Figure7() []Fig7Row {
+	rows := []Fig7Row{
+		{Label: "OpenFold (A100x128, NoDAP)", Paper: 6.19, Config: ReferenceConfig(gpu.A100(), 128)},
+		{Label: "FastFold (A100x256, DAP2)", Paper: 2.49, Config: FastFoldConfig(gpu.A100(), 256, 2)},
+		{Label: "ScaleFold (A100x256, DAP2)", Paper: 1.88, Config: Figure7Config(gpu.A100(), 256, 2)},
+		{Label: "ScaleFold (H100x128, NoDAP)", Paper: 1.80, Config: Figure7Config(gpu.H100(), 128, 1)},
+		{Label: "ScaleFold (H100x256, DAP2)", Paper: 1.12, Config: Figure7Config(gpu.H100(), 256, 2)},
+		{Label: "ScaleFold (H100x512, DAP4)", Paper: 0.75, Config: Figure7Config(gpu.H100(), 512, 4)},
+		{Label: "ScaleFold (H100x1024, DAP8)", Paper: 0.65, Config: Figure7Config(gpu.H100(), 1024, 8)},
+		{Label: "ScaleFold (A100x1024, DAP8)", Paper: 1.21, Config: Figure7Config(gpu.A100(), 1024, 8)},
+	}
+	for i := range rows {
+		rows[i].Seconds = rows[i].Config.StepSeconds()
+	}
+	return rows
+}
+
+// Rung is one bar of the Figure 8 optimization ladder.
+type Rung struct {
+	Label   string
+	Paper   float64 // cumulative speedup the paper reports
+	Config  StepConfig
+	Seconds float64
+	Speedup float64 // measured cumulative speedup vs rung 0
+}
+
+// Ladder reproduces Figure 8: optimizations applied cumulatively in the
+// paper's order, measured as speedup over the A100 reference.
+func Ladder() []Rung {
+	mk := func(label string, paper float64, mut func(*StepConfig)) Rung {
+		c := ReferenceConfig(gpu.H100(), 128)
+		c.Name = label
+		mut(&c)
+		return Rung{Label: label, Paper: paper, Config: c}
+	}
+	rungs := []Rung{
+		{Label: "Reference (A100)", Paper: 1.00, Config: ReferenceConfig(gpu.A100(), 128)},
+		mk("H100", 1.66, func(c *StepConfig) {}),
+		mk("+Batched GEMM", 1.71, func(c *StepConfig) {
+			c.Census.BatchedGEMM = true
+		}),
+		mk("+Non-blocking dataloader", 1.78, func(c *StepConfig) {
+			c.Census.BatchedGEMM = true
+			c.NonBlocking = true
+		}),
+		mk("+BF16", 2.22, func(c *StepConfig) {
+			c.Census.BatchedGEMM, c.NonBlocking = true, true
+			c.Census.BF16 = true
+		}),
+		mk("+Triton MHA", 2.49, func(c *StepConfig) {
+			c.Census.BatchedGEMM, c.NonBlocking, c.Census.BF16 = true, true, true
+			c.Census.FusedMHA = true
+		}),
+		mk("+Triton LayerNorm", 2.92, func(c *StepConfig) {
+			c.Census.BatchedGEMM, c.NonBlocking, c.Census.BF16, c.Census.FusedMHA = true, true, true, true
+			c.Census.FusedLN = true
+		}),
+		mk("+Fused Adam+SWA", 3.29, func(c *StepConfig) {
+			c.Census.BatchedGEMM, c.NonBlocking, c.Census.BF16, c.Census.FusedMHA, c.Census.FusedLN = true, true, true, true, true
+			c.Census.FusedAdamSWA, c.Census.BucketedClip = true, true
+		}),
+		mk("+DAP-8, no grad ckpt", 5.90, func(c *StepConfig) {
+			c.Census.BatchedGEMM, c.NonBlocking, c.Census.BF16, c.Census.FusedMHA, c.Census.FusedLN = true, true, true, true, true
+			c.Census.FusedAdamSWA, c.Census.BucketedClip = true, true
+			c.Census.DAP, c.DAP, c.Ranks = 8, 8, 1024
+			c.Census.GradCheckpoint = false
+		}),
+		mk("+CUDA Graph", 7.84, func(c *StepConfig) {
+			c.Census.BatchedGEMM, c.NonBlocking, c.Census.BF16, c.Census.FusedMHA, c.Census.FusedLN = true, true, true, true, true
+			c.Census.FusedAdamSWA, c.Census.BucketedClip = true, true
+			c.Census.DAP, c.DAP, c.Ranks = 8, 8, 1024
+			c.Census.GradCheckpoint = false
+			c.CUDAGraph = true
+		}),
+		mk("+Disable GC", 8.91, func(c *StepConfig) {
+			c.Census.BatchedGEMM, c.NonBlocking, c.Census.BF16, c.Census.FusedMHA, c.Census.FusedLN = true, true, true, true, true
+			c.Census.FusedAdamSWA, c.Census.BucketedClip = true, true
+			c.Census.DAP, c.DAP, c.Ranks = 8, 8, 1024
+			c.Census.GradCheckpoint = false
+			c.CUDAGraph, c.DisableGC = true, true
+		}),
+		mk("+torch.compile", 10.39, func(c *StepConfig) {
+			c.Census.BatchedGEMM, c.NonBlocking, c.Census.BF16, c.Census.FusedMHA, c.Census.FusedLN = true, true, true, true, true
+			c.Census.FusedAdamSWA, c.Census.BucketedClip = true, true
+			c.Census.DAP, c.DAP, c.Ranks = 8, 8, 1024
+			c.Census.GradCheckpoint = false
+			c.CUDAGraph, c.DisableGC = true, true
+			c.Census.TorchCompile = true
+		}),
+	}
+	base := rungs[0].Config.StepSeconds()
+	rungs[0].Seconds = base
+	rungs[0].Speedup = 1
+	for i := 1; i < len(rungs); i++ {
+		rungs[i].Seconds = rungs[i].Config.StepSeconds()
+		rungs[i].Speedup = base / rungs[i].Seconds
+	}
+	return rungs
+}
+
+// Barrier is one Figure 3 stacked-bar component.
+type Barrier struct {
+	Name  string
+	Share float64 // fraction of the actual-vs-optimal gap (column sums to 1)
+	Gap   time.Duration
+}
+
+// Figure3 reproduces the barrier breakdown: the gap between the measured
+// step and the per-factor idealized step, decomposed deterministically from
+// the simulator's accounting (the paper subtracts per-factor idealized
+// times; our simulator exposes the same quantities directly). The
+// configuration matches §3.1: DAP applied to the otherwise-unoptimized
+// training — blocking loader, no CUDA graph.
+func Figure3(dapN int) []Barrier {
+	cen := workload.Baseline()
+	cen.DAP = dapN
+	cen.GradCheckpoint = false // §3.1 measures DAP runs with ckpt freed
+	ranks := 128 * dapN
+	prog := workload.Census(fullModelConfig(), cen)
+	o := cluster.DefaultOptions(3)
+	o.Arch = gpu.A100()
+	// The paper's profiled measurement runs read far ahead in the dataset;
+	// the steady-state stall behaviour belongs to the TTT experiments.
+	o.Prefetch = 128
+	res := cluster.Simulate(prog, ranks, dapN, o)
+
+	// Poor kernel scalability: the extra time DAP-shrunk kernels take
+	// beyond perfect 1/n scaling of their DAP-1 durations, caused by
+	// falling down the bandwidth-efficiency curve.
+	cen1 := cen
+	cen1.DAP = 1
+	prog1 := workload.Census(fullModelConfig(), cen1)
+	var kernelGap time.Duration
+	for i, g := range prog.Groups {
+		if g.Serial {
+			continue
+		}
+		g1 := prog1.Groups[i]
+		actual := time.Duration(g.Calls) * o.Arch.KernelDuration(g.PerCallFlops(), g.PerCallBytes(), false)
+		ideal := time.Duration(g1.Calls) * o.Arch.KernelDuration(g1.PerCallFlops(), g1.PerCallBytes(), false) / time.Duration(dapN)
+		if actual > ideal {
+			kernelGap += actual - ideal
+		}
+	}
+
+	serialGap := res.Break.SerialPart - res.Break.SerialPart/time.Duration(dapN)
+
+	out := []Barrier{
+		{Name: "CPU overhead", Gap: res.Break.CPUExposed},
+		{Name: "Imbalance communication", Gap: res.Break.CommWaitMedian + res.Break.DataWaitMedian},
+		{Name: "Serial modules", Gap: serialGap},
+		{Name: "Poor kernel scalability", Gap: kernelGap},
+		{Name: "Communication workload", Gap: res.Break.CommXfer},
+	}
+	var totalGap time.Duration
+	for _, b := range out {
+		totalGap += b.Gap
+	}
+	if totalGap > 0 {
+		for i := range out {
+			out[i].Share = float64(out[i].Gap) / float64(totalGap)
+		}
+	}
+	return out
+}
+
+// BaselineDAPSpeedups reproduces the §3.1 observation that naively applying
+// DAP to the unoptimized training yields only 1.42×/1.57×/≈1.57× at
+// DAP-2/4/8. Returned values are speedups over the DAP-1 baseline.
+func BaselineDAPSpeedups() map[int]float64 {
+	base := ReferenceConfig(gpu.A100(), 128).StepSeconds()
+	out := map[int]float64{}
+	for _, d := range []int{2, 4, 8} {
+		cen := workload.Baseline()
+		cen.DAP = d
+		c := StepConfig{Name: "baseline+DAP", Arch: gpu.A100(), Ranks: 128 * d, DAP: d, Census: cen, Seed: 1}
+		out[d] = base / c.StepSeconds()
+	}
+	return out
+}
+
+// Table1Shares returns the runtime shares and call counts of Table 1,
+// measured on the simulated baseline: CPU overhead plus the three kernel
+// categories.
+type Table1Row struct {
+	Kind  string
+	Share float64
+	Calls int
+}
+
+// Table1 measures the kernel-category breakdown on the A100 baseline.
+func Table1() []Table1Row {
+	prog := workload.Census(model.FullConfig(), workload.Baseline())
+	arch := gpu.A100()
+	tot := prog.Totals()
+	var times [3]time.Duration
+	for i, cat := range []workload.Category{workload.CatMath, workload.CatMem, workload.CatMemOp} {
+		for _, g := range prog.Groups {
+			if g.Cat == cat {
+				times[i] += time.Duration(g.Calls) * arch.KernelDuration(g.PerCallFlops(), g.PerCallBytes(), false)
+			}
+		}
+	}
+	// CPU overhead: exposed launch gaps plus the host-side work the
+	// profiler attributes to every launch (driver call, Python dispatch),
+	// which Table 1 counts as CPU time even when the GPU stays busy.
+	const hostPerLaunch = 2 * time.Microsecond
+	cpu := time.Duration(prog.TotalCalls()) * hostPerLaunch
+	for _, g := range prog.Groups {
+		per := arch.KernelDuration(g.PerCallFlops(), g.PerCallBytes(), false)
+		if gap := arch.LaunchOverhead - per; gap > 0 {
+			cpu += time.Duration(g.Calls) * gap
+		}
+	}
+	total := cpu + times[0] + times[1] + times[2]
+	rows := []Table1Row{
+		{Kind: "CPU Overhead", Share: float64(cpu) / float64(total)},
+		{Kind: "Math-bounded", Share: float64(times[0]) / float64(total), Calls: tot[workload.CatMath].Calls},
+		{Kind: "Memory-bounded", Share: float64(times[1]) / float64(total), Calls: tot[workload.CatMem].Calls},
+		{Kind: "Memory-operation", Share: float64(times[2]) / float64(total), Calls: tot[workload.CatMemOp].Calls},
+	}
+	return rows
+}
+
+// PrepTimeCurve returns the sorted Figure 4 curve (n batches, seconds).
+func PrepTimeCurve(n int) []float64 {
+	gen := dataset.NewGenerator(11)
+	return dataset.SortedPrepTimes(gen, dataset.DefaultPrepTimeModel(), n, 7)
+}
+
+// EosTopology re-exports the cluster topology for CLI display.
+func EosTopology() comm.Topology { return comm.Eos() }

@@ -1,0 +1,130 @@
+// Package sim provides the small discrete-event toolkit the cluster and
+// pipeline simulators are built on: a virtual clock, an event queue, and
+// seeded random-variate helpers (log-normal service times, Bernoulli
+// background events). Everything is deterministic given a seed.
+package sim
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Time is simulated time measured from the start of the run.
+type Time = time.Duration
+
+// Event is a scheduled callback.
+type Event struct {
+	At Time
+	Fn func()
+
+	index int
+	seq   int
+}
+
+// Queue is a time-ordered event queue (ties broken by insertion order, so
+// runs are deterministic).
+type Queue struct {
+	h   eventHeap
+	seq int
+	now Time
+}
+
+// NewQueue returns an empty queue at time zero.
+func NewQueue() *Queue { return &Queue{} }
+
+// Now returns the current simulated time.
+func (q *Queue) Now() Time { return q.now }
+
+// Schedule enqueues fn to run at absolute time at. Scheduling in the past
+// clamps to "now".
+func (q *Queue) Schedule(at Time, fn func()) {
+	if at < q.now {
+		at = q.now
+	}
+	e := &Event{At: at, Fn: fn, seq: q.seq}
+	q.seq++
+	heap.Push(&q.h, e)
+}
+
+// After enqueues fn to run after delay d.
+func (q *Queue) After(d Time, fn func()) { q.Schedule(q.now+d, fn) }
+
+// Step runs the earliest event; it reports false when the queue is empty.
+func (q *Queue) Step() bool {
+	if q.h.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&q.h).(*Event)
+	q.now = e.At
+	e.Fn()
+	return true
+}
+
+// Run drains the queue (events may schedule more events).
+func (q *Queue) Run() {
+	for q.Step() {
+	}
+}
+
+// RunUntil processes events with At <= deadline and then stops, leaving the
+// clock at the deadline (or later if an event moved it there).
+func (q *Queue) RunUntil(deadline Time) {
+	for q.h.Len() > 0 && q.h[0].At <= deadline {
+		q.Step()
+	}
+	if q.now < deadline {
+		q.now = deadline
+	}
+}
+
+// Pending returns the number of queued events.
+func (q *Queue) Pending() int { return q.h.Len() }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// LogNormal draws exp(N(mu, sigma)) seconds as a duration.
+func LogNormal(rng *rand.Rand, mu, sigma float64) Time {
+	return Seconds(math.Exp(rng.NormFloat64()*sigma + mu))
+}
+
+// Seconds converts float seconds to a duration.
+func Seconds(s float64) Time { return Time(s * float64(time.Second)) }
+
+// Sec converts a duration to float seconds.
+func Sec(d Time) float64 { return d.Seconds() }
+
+// MaxTime returns the later of a and b.
+func MaxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestQueueOrdersByTime(t *testing.T) {
+	q := NewQueue()
+	var order []int
+	q.Schedule(3*time.Second, func() { order = append(order, 3) })
+	q.Schedule(1*time.Second, func() { order = append(order, 1) })
+	q.Schedule(2*time.Second, func() { order = append(order, 2) })
+	q.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order %v", order)
+	}
+	if q.Now() != 3*time.Second {
+		t.Fatalf("clock %v", q.Now())
+	}
+}
+
+func TestQueueTiesAreFIFO(t *testing.T) {
+	q := NewQueue()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		q.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	q.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ties not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	q := NewQueue()
+	var fired bool
+	q.After(time.Second, func() {
+		q.After(time.Second, func() { fired = true })
+	})
+	q.Run()
+	if !fired || q.Now() != 2*time.Second {
+		t.Fatalf("fired=%v now=%v", fired, q.Now())
+	}
+}
+
+func TestSchedulePastClampsToNow(t *testing.T) {
+	q := NewQueue()
+	q.Schedule(2*time.Second, func() {
+		q.Schedule(time.Second, func() {}) // in the past
+	})
+	q.Run()
+	if q.Now() != 2*time.Second {
+		t.Fatalf("now %v", q.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	q := NewQueue()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		q.Schedule(time.Duration(i)*time.Second, func() { count++ })
+	}
+	q.RunUntil(3 * time.Second)
+	if count != 3 {
+		t.Fatalf("ran %d events, want 3", count)
+	}
+	if q.Pending() != 2 {
+		t.Fatalf("pending %d", q.Pending())
+	}
+	if q.Now() != 3*time.Second {
+		t.Fatalf("now %v", q.Now())
+	}
+}
+
+func TestLogNormalPositiveAndSeeded(t *testing.T) {
+	r1 := rand.New(rand.NewSource(1))
+	r2 := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		a := LogNormal(r1, 0, 0.5)
+		b := LogNormal(r2, 0, 0.5)
+		if a <= 0 {
+			t.Fatalf("lognormal must be positive: %v", a)
+		}
+		if a != b {
+			t.Fatal("same seed must give same draws")
+		}
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	if Sec(Seconds(2.5)) != 2.5 {
+		t.Fatal("seconds round trip")
+	}
+	if MaxTime(time.Second, 2*time.Second) != 2*time.Second {
+		t.Fatal("MaxTime")
+	}
+}

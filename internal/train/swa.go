@@ -1,0 +1,41 @@
+package train
+
+import (
+	"repro/internal/dataset"
+)
+
+// SWA support: AlphaFold's training evaluates the stochastic weight average
+// rather than the raw weights (the averaged model converges more smoothly,
+// which is why the paper folds the SWA update into the fused optimizer
+// kernel rather than dropping it).
+
+// swapInSWA exchanges the live parameters with the SWA shadow copies and
+// returns a function restoring the originals.
+func (t *Trainer) swapInSWA() (restore func()) {
+	ps := t.Model.Params.All()
+	saved := make([][]float32, len(ps))
+	for i, p := range ps {
+		saved[i] = append([]float32(nil), p.X.Data...)
+		copy(p.X.Data, t.swa[i])
+	}
+	return func() {
+		for i, p := range ps {
+			copy(p.X.Data, saved[i])
+		}
+	}
+}
+
+// EvaluateSWA returns the mean lDDT-Cα of the stochastic-weight-averaged
+// model — the weights the paper's avg_lddt_ca convergence gate actually
+// inspects.
+func (t *Trainer) EvaluateSWA(eval []*dataset.Sample) float64 {
+	restore := t.swapInSWA()
+	defer restore()
+	return t.Evaluate(eval)
+}
+
+// SWASnapshot returns a copy of the SWA weights for the i-th parameter
+// (primarily for tests and checkpoint export).
+func (t *Trainer) SWASnapshot(i int) []float32 {
+	return append([]float32(nil), t.swa[i]...)
+}

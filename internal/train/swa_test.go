@@ -1,0 +1,55 @@
+package train
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestEvaluateSWARestoresWeights(t *testing.T) {
+	mdl := tinyModel(21)
+	tr := New(mdl, DefaultConfig())
+	gen := dataset.NewGenerator(22)
+	gen.MSADepth = mdl.Cfg.MSADepth
+	batch := cropBatch(t, gen, mdl.Cfg, []int{0}, 23)
+	for i := 0; i < 3; i++ {
+		tr.TrainStep(batch)
+	}
+	before := make([]float32, 8)
+	p0 := mdl.Params.All()[0]
+	copy(before, p0.X.Data[:8])
+	_ = tr.EvaluateSWA(batch)
+	for i, v := range before {
+		if p0.X.Data[i] != v {
+			t.Fatal("EvaluateSWA must restore the live weights")
+		}
+	}
+}
+
+func TestSWAEvaluationDiffersFromLive(t *testing.T) {
+	mdl := tinyModel(24)
+	cfg := DefaultConfig()
+	cfg.SWADecay = 0.9
+	tr := New(mdl, cfg)
+	gen := dataset.NewGenerator(25)
+	gen.MSADepth = mdl.Cfg.MSADepth
+	batch := cropBatch(t, gen, mdl.Cfg, []int{0, 1}, 26)
+	for i := 0; i < 6; i++ {
+		tr.TrainStep(batch)
+	}
+	live := tr.Evaluate(batch)
+	swa := tr.EvaluateSWA(batch)
+	if live == swa {
+		t.Fatal("SWA and live evaluations should differ early in training")
+	}
+}
+
+func TestSWASnapshotIsACopy(t *testing.T) {
+	mdl := tinyModel(27)
+	tr := New(mdl, DefaultConfig())
+	snap := tr.SWASnapshot(0)
+	snap[0] += 100
+	if tr.SWASnapshot(0)[0] == snap[0] {
+		t.Fatal("snapshot must not alias internal state")
+	}
+}

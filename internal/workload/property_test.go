@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+// Property tests over the census invariants that the experiments rely on.
+
+func TestPropertyDAPNeverIncreasesPerRankWork(t *testing.T) {
+	f := func(seed int64) bool {
+		d := 1 << (uint(seed%4) + 1) // 2,4,8,16
+		o1 := Baseline()
+		oN := Baseline()
+		oN.DAP = d
+		p1 := Census(model.SmallConfig(), o1)
+		pN := Census(model.SmallConfig(), oN)
+		t1, tN := p1.Totals(), pN.Totals()
+		for _, c := range []Category{CatMath, CatMem, CatMemOp} {
+			if tN[c].Bytes > t1[c].Bytes || tN[c].Flops > t1[c].Flops {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEveryOptimizationReducesWork(t *testing.T) {
+	// Each single optimization, applied alone, must not increase the
+	// baseline's total launches or traffic.
+	muts := []func(*Options){
+		func(o *Options) { o.FusedMHA = true },
+		func(o *Options) { o.FusedLN = true },
+		func(o *Options) { o.FusedAdamSWA = true },
+		func(o *Options) { o.BatchedGEMM = true },
+		func(o *Options) { o.TorchCompile = true },
+		func(o *Options) { o.BF16 = true },
+		func(o *Options) { o.GradCheckpoint = false },
+		func(o *Options) { o.BucketedClip = true },
+	}
+	base := Census(model.FullConfig(), Baseline())
+	baseT := base.Totals()
+	baseBytes := baseT[CatMath].Bytes + baseT[CatMem].Bytes + baseT[CatMemOp].Bytes
+	for i, mut := range muts {
+		o := Baseline()
+		mut(&o)
+		p := Census(model.FullConfig(), o)
+		tt := p.Totals()
+		bytes := tt[CatMath].Bytes + tt[CatMem].Bytes + tt[CatMemOp].Bytes
+		if p.TotalCalls() > base.TotalCalls() {
+			t.Fatalf("optimization %d increased launches: %d > %d", i, p.TotalCalls(), base.TotalCalls())
+		}
+		if bytes > baseBytes*1.001 {
+			t.Fatalf("optimization %d increased traffic: %g > %g", i, bytes, baseBytes)
+		}
+	}
+}
+
+func TestPropertyGroupsHaveConsistentAccounting(t *testing.T) {
+	for _, o := range []Options{Baseline(), ScaleFold(1), ScaleFold(8)} {
+		p := Census(model.FullConfig(), o)
+		for _, g := range p.Groups {
+			if g.Calls <= 0 {
+				t.Fatalf("group %q has %d calls", g.Name, g.Calls)
+			}
+			if g.Bytes < 0 || g.Flops < 0 {
+				t.Fatalf("group %q has negative work", g.Name)
+			}
+			if g.Cat == CatMath && g.Flops == 0 {
+				t.Fatalf("math group %q has zero FLOPs", g.Name)
+			}
+			if g.Cat != CatMath && g.Flops != 0 {
+				t.Fatalf("non-math group %q has FLOPs", g.Name)
+			}
+		}
+	}
+}
+
+func TestPropertyPassesMonotoneInRecycles(t *testing.T) {
+	f := func(r uint8) bool {
+		rec := int(r % 6)
+		a := Baseline()
+		a.Recycles = rec
+		b := Baseline()
+		b.Recycles = rec + 1
+		return Census(model.SmallConfig(), b).TotalCalls() > Census(model.SmallConfig(), a).TotalCalls()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
