@@ -10,16 +10,20 @@
 package repro
 
 import (
+	"bytes"
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/gpu"
 	"repro/internal/kernels"
 	"repro/internal/model"
 	"repro/internal/pipeline"
 	"repro/internal/scalefold"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -48,6 +52,7 @@ func BenchmarkTable1KernelBreakdown(b *testing.B) {
 func BenchmarkFig3BarrierAblation(b *testing.B) {
 	var imbalance8 float64
 	for i := 0; i < b.N; i++ {
+		scalefold.ResetStepCache()
 		for _, bar := range scalefold.Figure3(8) {
 			if bar.Name == "Imbalance communication" {
 				imbalance8 = bar.Share
@@ -87,6 +92,7 @@ func BenchmarkFig5PipelineTimeline(b *testing.B) {
 func BenchmarkFig7StepTime(b *testing.B) {
 	var sf8 float64
 	for i := 0; i < b.N; i++ {
+		scalefold.ResetStepCache()
 		for _, r := range scalefold.Figure7() {
 			if r.Label == "ScaleFold (H100x1024, DAP8)" {
 				sf8 = r.Seconds
@@ -102,6 +108,7 @@ func BenchmarkFig7StepTime(b *testing.B) {
 func BenchmarkFig8OptimizationLadder(b *testing.B) {
 	var final float64
 	for i := 0; i < b.N; i++ {
+		scalefold.ResetStepCache()
 		rungs := scalefold.Ladder()
 		final = rungs[len(rungs)-1].Speedup
 	}
@@ -114,6 +121,7 @@ func BenchmarkFig8OptimizationLadder(b *testing.B) {
 func BenchmarkFig9TTTBreakdown(b *testing.B) {
 	var evalShare float64
 	for i := 0; i < b.N; i++ {
+		scalefold.ResetStepCache()
 		bars := scalefold.Figure9()
 		evalShare = bars[1].Shares["eval"] // ScaleFold w/o async eval
 	}
@@ -126,6 +134,7 @@ func BenchmarkFig9TTTBreakdown(b *testing.B) {
 func BenchmarkFig10TimeToTrain(b *testing.B) {
 	var minutes float64
 	for i := 0; i < b.N; i++ {
+		scalefold.ResetStepCache()
 		rows := scalefold.Figure10()
 		minutes = rows[2].Minutes
 	}
@@ -138,6 +147,7 @@ func BenchmarkFig10TimeToTrain(b *testing.B) {
 func BenchmarkFig11PretrainingCurve(b *testing.B) {
 	var hours float64
 	for i := 0; i < b.N; i++ {
+		scalefold.ResetStepCache()
 		_, res := scalefold.Figure11()
 		hours = res.WallTime.Hours()
 	}
@@ -327,11 +337,65 @@ func BenchmarkMiniatureTrainStep(b *testing.B) {
 	}
 }
 
+// ---------- Sweep engine throughput ----------
+
+// sweepBenchSpec is a 24-cell grid at a small rank count: large enough to
+// exercise the worker pool, small enough that one cell is a few
+// milliseconds. A fresh cache per call keeps iterations honest (no
+// cross-iteration memoization).
+func sweepBenchSpec(workers int) scalefold.SweepSpec {
+	s := scalefold.DefaultSweepSpec()
+	s.Ranks = []int{32}
+	s.Steps = 2
+	s.Workers = workers
+	s.Cache = sweep.NewCache[cluster.Result]()
+	return s
+}
+
+// benchSweep runs one full sweep and returns its CSV bytes.
+func benchSweep(b *testing.B, workers int) []byte {
+	rows, err := sweepBenchSpec(workers).Run(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := scalefold.SweepTable(rows).WriteCSV(&buf); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkSweep24Cells measures sweep throughput per worker count. Compare
+// the workers=1 and workers=8 timings for the parallel speedup (bounded by
+// the host's core count: on >= 8 cores the 24-cell grid completes several
+// times faster with 8 workers; on a single core the pool degenerates to the
+// serial path). Byte-identical output across worker counts is asserted on
+// every iteration.
+func BenchmarkSweep24Cells(b *testing.B) {
+	want := benchSweep(b, 1)
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var cells float64
+			for i := 0; i < b.N; i++ {
+				got := benchSweep(b, workers)
+				if !bytes.Equal(got, want) {
+					b.Fatalf("workers=%d produced different CSV than workers=1", workers)
+				}
+				cells = 24
+			}
+			b.ReportMetric(cells*float64(b.N)*float64(time.Second)/float64(b.Elapsed()), "cells/s")
+		})
+	}
+}
+
 // ---------- Cluster simulator throughput ----------
 
 func BenchmarkClusterSimulateDAP8(b *testing.B) {
 	prog := workload.Census(model.FullConfig(), workload.ScaleFold(8))
 	for i := 0; i < b.N; i++ {
+		// The seed varies per iteration; reset so the process-wide memo
+		// cache doesn't grow linearly with b.N.
+		scalefold.ResetStepCache()
 		c := scalefold.Figure7Config(gpu.H100(), 128, 8)
 		_ = c
 		_ = prog

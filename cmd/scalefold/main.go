@@ -1,5 +1,6 @@
 // Command scalefold regenerates every table and figure of the ScaleFold
-// paper's evaluation on the simulated substrate:
+// paper's evaluation on the simulated substrate, and runs free-form scenario
+// sweeps over the simulator:
 //
 //	scalefold table1   kernel-category breakdown (Table 1)
 //	scalefold fig3     scalability-barrier ablation for DAP-2/4/8 (Figure 3)
@@ -11,15 +12,24 @@
 //	scalefold fig10    MLPerf HPC time-to-train (Figure 10)
 //	scalefold fig11    from-scratch pretraining curve (Figure 11)
 //	scalefold all      everything above in order
+//	scalefold sweep    parallel scenario sweep over axis flags (see -h)
+//	scalefold help     full command reference (docs/cli.md, embedded)
+//
+// See docs/cli.md for the full reference — `scalefold help` prints the same
+// text.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"time"
 
+	"repro/docs"
 	"repro/internal/pipeline"
 	"repro/internal/scalefold"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -27,6 +37,14 @@ func main() {
 	cmd := "all"
 	if len(os.Args) > 1 {
 		cmd = os.Args[1]
+	}
+	switch cmd {
+	case "help", "-h", "--help":
+		fmt.Print(docs.CLI)
+		return
+	case "sweep":
+		sweepCmd(os.Args[2:])
+		return
 	}
 	runners := map[string]func(){
 		"table1": table1, "fig3": fig3, "fig4": fig4, "fig5": fig5,
@@ -41,10 +59,100 @@ func main() {
 	}
 	run, ok := runners[cmd]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (table1, fig3..fig11, all)\n", cmd)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (table1, fig3..fig11, sweep, all; see `scalefold help`)\n", cmd)
 		os.Exit(2)
 	}
 	run()
+}
+
+// parseIntList converts a comma-separated flag value to ints.
+func parseIntList(flagName, s string) []int {
+	var out []int
+	for _, f := range sweep.ParseList(s) {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: -%s: %q is not an integer\n", flagName, f)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func sweepCmd(args []string) {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	arch := fs.String("arch", "H100", "comma-separated GPU architectures (A100, H100)")
+	ranks := fs.String("ranks", "256", "comma-separated GPU counts")
+	dap := fs.String("dap", "1,2,4,8", "comma-separated DAP widths")
+	ablate := fs.String("ablate", "none,zero-launch,perfect-balance,zero-serial,flat-efficiency,zero-comm",
+		"comma-separated barrier ablations")
+	seeds := fs.Int("seeds", 1, "seed replicas per scenario")
+	profile := fs.String("profile", "scalefold", "base config: scalefold, baseline or fastfold")
+	steps := fs.Int("steps", 0, "simulated steps per cell (0 = simulator default)")
+	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	csvPath := fs.String("csv", "-", `CSV destination ("-" = stdout, "" = off)`)
+	jsonPath := fs.String("json", "", `JSON destination ("-" = stdout, "" = off)`)
+	quiet := fs.Bool("quiet", false, "suppress streaming progress on stderr")
+	fs.Parse(args)
+	if *csvPath == "-" && *jsonPath == "-" {
+		fmt.Fprintln(os.Stderr, `sweep: -csv and -json cannot both target stdout; pass -csv "" for JSON-only output`)
+		os.Exit(2)
+	}
+
+	spec := scalefold.SweepSpec{
+		Profile:   *profile,
+		Arches:    sweep.ParseList(*arch),
+		Ranks:     parseIntList("ranks", *ranks),
+		DAPs:      parseIntList("dap", *dap),
+		Ablations: sweep.ParseList(*ablate),
+		Seeds:     *seeds,
+		Steps:     *steps,
+		Workers:   *workers,
+	}
+	var progress func(sweep.Progress)
+	if !*quiet {
+		progress = func(ev sweep.Progress) {
+			note := ""
+			if ev.Cached {
+				note = " (memoized)"
+			}
+			fmt.Fprintf(os.Stderr, "[%3d/%3d] %s%s (%v)\n",
+				ev.Done, ev.Total, ev.Label, note, ev.Elapsed.Round(time.Millisecond))
+		}
+	}
+	rows, err := spec.Run(progress)
+	if err != nil {
+		// Grid errors already carry the "sweep:" package prefix.
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	for _, r := range rows {
+		if r.SkipReason != "" {
+			fmt.Fprintf(os.Stderr, "sweep: skipping %s: %s\n", r.Point.Fingerprint(), r.SkipReason)
+		}
+	}
+	tab := scalefold.SweepTable(rows)
+	emit := func(path, kind string, write func(*os.File) error) {
+		if path == "" {
+			return
+		}
+		out := os.Stdout
+		if path != "-" {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := write(out); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: writing %s: %v\n", kind, err)
+			os.Exit(2)
+		}
+	}
+	emit(*csvPath, "csv", func(f *os.File) error { return tab.WriteCSV(f) })
+	emit(*jsonPath, "json", func(f *os.File) error { return tab.WriteJSON(f) })
 }
 
 func header(s string) { fmt.Printf("=== %s ===\n", s) }
@@ -82,9 +190,10 @@ func fig3() {
 		4: {"CPU overhead": 30, "Imbalance communication": 43, "Serial modules": 15, "Poor kernel scalability": 7, "Communication workload": 6},
 		8: {"CPU overhead": 18, "Imbalance communication": 54, "Serial modules": 14, "Poor kernel scalability": 9, "Communication workload": 5},
 	}
-	for _, d := range []int{2, 4, 8} {
+	columns := scalefold.Figure3All()
+	for _, d := range scalefold.Figure3DAPs {
 		fmt.Printf("DAP-%d:\n", d)
-		for _, b := range scalefold.Figure3(d) {
+		for _, b := range columns[d] {
 			fmt.Printf("  %-26s %5.1f%%  (paper %4.0f%%)  gap=%v\n", b.Name, 100*b.Share, paper[d][b.Name], b.Gap.Round(time.Millisecond))
 		}
 	}

@@ -1,0 +1,12 @@
+// Package docs embeds the user-facing documentation so the CLI help text and
+// the committed markdown are one artifact: `scalefold help` prints CLI
+// verbatim, and docs/cli.md is what reviewers read — they cannot drift apart.
+package docs
+
+import _ "embed"
+
+// CLI is the full command reference (docs/cli.md), printed by
+// `scalefold help`.
+//
+//go:embed cli.md
+var CLI string

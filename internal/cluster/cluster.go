@@ -8,6 +8,7 @@
 package cluster
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"time"
@@ -53,6 +54,37 @@ type Options struct {
 	ZeroSerial         bool // serial modules parallelized away
 	FlatEfficiency     bool // kernels keep full efficiency at any size
 	ZeroCommVolume     bool // DAP collective payloads are free
+}
+
+// normalized returns the options with unset tunables replaced by their
+// Simulate-time defaults, so that two Options values which simulate
+// identically also fingerprint identically.
+func (o Options) normalized() Options {
+	if o.Steps < 1 {
+		o.Steps = 4
+	}
+	if o.Workers < 1 {
+		o.Workers = 10
+	}
+	if o.Prefetch < 1 {
+		o.Prefetch = 32
+	}
+	return o
+}
+
+// Fingerprint returns a canonical, deterministic serialization of every
+// Simulate input for the given cluster geometry: the scenario identity used
+// as a memoization key by the sweep engine. Two calls with equal
+// fingerprints (and the same kernel census) produce identical Results —
+// Simulate draws all randomness from the seeded sources listed here.
+func (o Options) Fingerprint(ranks, dapDegree int) string {
+	o = o.normalized()
+	return fmt.Sprintf(
+		"ranks=%d|dap=%d|arch=%+v|topo=%+v|cpu=%+v|graph=%t|nonblock=%t|workers=%d|prefetch=%d|prep=%+v|seed=%d|steps=%d|ablate=%t%t%t%t%t",
+		ranks, dapDegree, o.Arch, o.Topo, o.CPU, o.CUDAGraph,
+		o.NonBlockingPipeline, o.Workers, o.Prefetch, o.PrepModel, o.Seed,
+		o.Steps, o.ZeroLaunchOverhead, o.PerfectBalance, o.ZeroSerial,
+		o.FlatEfficiency, o.ZeroCommVolume)
 }
 
 // DefaultOptions returns a production-like H100 setup.
@@ -108,15 +140,7 @@ func Simulate(prog *workload.Program, ranks, dapDegree int, o Options) Result {
 	if err != nil {
 		panic(err)
 	}
-	if o.Steps < 1 {
-		o.Steps = 4
-	}
-	if o.Workers < 1 {
-		o.Workers = 10
-	}
-	if o.Prefetch < 1 {
-		o.Prefetch = 32
-	}
+	o = o.normalized()
 	// --- Per-step invariants (identical across ranks) ---
 	var gpuCompute, serialPart time.Duration
 	var launches int

@@ -4,9 +4,15 @@
 // — and runs them on the workload census + cluster simulator. Downstream
 // users compose StepConfig values; the cmd/scalefold CLI and bench_test.go
 // call the experiment runners here.
+//
+// Every experiment runner is a thin grid declaration over the sweep engine
+// (package sweep): configurations are expanded, fingerprinted, executed on a
+// bounded worker pool and memoized process-wide, so a cell shared by several
+// figures — e.g. the A100 reference step — simulates exactly once.
 package scalefold
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/cluster"
@@ -14,6 +20,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/gpu"
 	"repro/internal/model"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -30,15 +37,50 @@ type StepConfig struct {
 	NonBlocking bool
 	DisableGC   bool
 
+	// Ablation idealizes one scalability barrier (the Figure 3 switches in
+	// cluster.Options); see Ablations for the recognized names.
+	Ablation string
+	// Prefetch overrides the dataloader prefetch depth (0 = simulator
+	// default). Figure 3's profiled measurement runs read far ahead.
+	Prefetch int
+
 	Seed  int64
 	Steps int
 }
 
+// Ablations lists the recognized StepConfig.Ablation values: "none" plus one
+// name per Figure 3 barrier-idealization switch.
+var Ablations = []string{
+	"none",            // measured configuration, nothing idealized
+	"zero-launch",     // CPU launch overhead eliminated
+	"perfect-balance", // ranks synchronized before every collective
+	"zero-serial",     // serial modules parallelized away
+	"flat-efficiency", // kernels keep full efficiency at any size
+	"zero-comm",       // DAP collective payloads are free
+}
+
+func applyAblation(o *cluster.Options, name string) {
+	switch name {
+	case "", "none":
+	case "zero-launch":
+		o.ZeroLaunchOverhead = true
+	case "perfect-balance":
+		o.PerfectBalance = true
+	case "zero-serial":
+		o.ZeroSerial = true
+	case "flat-efficiency":
+		o.FlatEfficiency = true
+	case "zero-comm":
+		o.ZeroCommVolume = true
+	default:
+		panic(fmt.Sprintf("scalefold: unknown ablation %q (want one of %v)", name, Ablations))
+	}
+}
+
 func fullModelConfig() model.Config { return model.FullConfig() }
 
-// Run simulates the configuration and returns the cluster result.
-func (c StepConfig) Run() cluster.Result {
-	prog := workload.Census(fullModelConfig(), c.Census)
+// clusterOptions lowers the step configuration to simulator options.
+func (c StepConfig) clusterOptions() cluster.Options {
 	o := cluster.DefaultOptions(c.Seed)
 	o.Arch = c.Arch
 	o.CUDAGraph = c.CUDAGraph
@@ -49,12 +91,74 @@ func (c StepConfig) Run() cluster.Result {
 	if c.Steps > 0 {
 		o.Steps = c.Steps
 	}
-	return cluster.Simulate(prog, c.Ranks, c.DAP, o)
+	if c.Prefetch > 0 {
+		o.Prefetch = c.Prefetch
+	}
+	applyAblation(&o, c.Ablation)
+	return o
+}
+
+// Fingerprint returns the canonical scenario identity of the configuration:
+// the kernel-census options plus every cluster.Simulate input. Configurations
+// with equal fingerprints simulate identically; the Name is display-only and
+// deliberately excluded.
+func (c StepConfig) Fingerprint() string {
+	return fmt.Sprintf("census{%+v}|%s", c.Census, c.clusterOptions().Fingerprint(c.Ranks, c.DAP))
+}
+
+// stepCache memoizes simulation results process-wide by scenario
+// fingerprint: the reference cell shared by Figures 7, 8, 9 and 10 runs
+// once, and repeated sweep cells are free.
+var stepCache = sweep.NewCache[cluster.Result]()
+
+// censusCache memoizes kernel censuses by their options. A census is a pure
+// deterministic derivation of the (fixed) model config, read-only once
+// built, so sharing one *workload.Program across simulations is safe and
+// saves the census rebuild on every cell that varies only seed or ablation.
+var censusCache = sweep.NewCache[*workload.Program]()
+
+func censusFor(cen workload.Options) *workload.Program {
+	prog, _ := censusCache.Do(fmt.Sprintf("%+v", cen), func() *workload.Program {
+		return workload.Census(fullModelConfig(), cen)
+	})
+	return prog
+}
+
+// ResetStepCache drops every memoized simulation result. Benchmarks call it
+// between iterations so repeated figure runs measure the simulator, not a
+// cache lookup, and so seed-varying loops don't grow the cache without
+// bound. Censuses stay cached — they are immutable derivations of the model
+// config, not per-scenario work. Not safe concurrently with running sweeps.
+func ResetStepCache() { stepCache = sweep.NewCache[cluster.Result]() }
+
+// simulate runs the configuration cold, bypassing the memoization cache.
+func (c StepConfig) simulate() cluster.Result {
+	return cluster.Simulate(censusFor(c.Census), c.Ranks, c.DAP, c.clusterOptions())
+}
+
+// Run simulates the configuration and returns the cluster result, memoized
+// by Fingerprint.
+func (c StepConfig) Run() cluster.Result {
+	res, _ := stepCache.Do(c.Fingerprint(), c.simulate)
+	return res
 }
 
 // StepSeconds simulates and returns the median step time in seconds — the
 // quantity a step-time microbenchmark reports (rare data stalls excluded).
 func (c StepConfig) StepSeconds() float64 { return c.Run().MedianStep.Seconds() }
+
+// runConfigs executes step configurations through the sweep engine on
+// `workers` goroutines (<= 0: GOMAXPROCS), sharing the process-wide
+// memoization cache. Results come back in input order, so downstream output
+// is byte-identical for every worker count.
+func runConfigs(workers int, cfgs []StepConfig) []cluster.Result {
+	cells := make([]sweep.Cell[StepConfig], len(cfgs))
+	for i, c := range cfgs {
+		cells[i] = sweep.Cell[StepConfig]{Key: c.Fingerprint(), Label: c.Name, Config: c}
+	}
+	eng := sweep.Engine[StepConfig, cluster.Result]{Workers: workers, Cache: stepCache}
+	return eng.Run(cells, StepConfig.simulate)
+}
 
 // ReferenceConfig is the unoptimized OpenFold baseline on `ranks` GPUs.
 func ReferenceConfig(arch gpu.Arch, ranks int) StepConfig {
@@ -114,9 +218,10 @@ type Fig7Row struct {
 	Seconds float64 // measured by the simulator (filled by Figure7)
 }
 
-// Figure7 reproduces the step-time comparison of Figure 7.
-func Figure7() []Fig7Row {
-	rows := []Fig7Row{
+// figure7Rows declares the Figure 7 comparison grid: one cell per
+// (system, arch, ranks, DAP) bar of the paper's plot.
+func figure7Rows() []Fig7Row {
+	return []Fig7Row{
 		{Label: "OpenFold (A100x128, NoDAP)", Paper: 6.19, Config: ReferenceConfig(gpu.A100(), 128)},
 		{Label: "FastFold (A100x256, DAP2)", Paper: 2.49, Config: FastFoldConfig(gpu.A100(), 256, 2)},
 		{Label: "ScaleFold (A100x256, DAP2)", Paper: 1.88, Config: Figure7Config(gpu.A100(), 256, 2)},
@@ -126,8 +231,19 @@ func Figure7() []Fig7Row {
 		{Label: "ScaleFold (H100x1024, DAP8)", Paper: 0.65, Config: Figure7Config(gpu.H100(), 1024, 8)},
 		{Label: "ScaleFold (A100x1024, DAP8)", Paper: 1.21, Config: Figure7Config(gpu.A100(), 1024, 8)},
 	}
+}
+
+// Figure7 reproduces the step-time comparison of Figure 7, running the
+// declared cells through the parallel sweep engine.
+func Figure7() []Fig7Row {
+	rows := figure7Rows()
+	cfgs := make([]StepConfig, len(rows))
+	for i, r := range rows {
+		cfgs[i] = r.Config
+	}
+	res := runConfigs(0, cfgs)
 	for i := range rows {
-		rows[i].Seconds = rows[i].Config.StepSeconds()
+		rows[i].Seconds = res[i].MedianStep.Seconds()
 	}
 	return rows
 }
@@ -141,75 +257,55 @@ type Rung struct {
 	Speedup float64 // measured cumulative speedup vs rung 0
 }
 
+// ladderRungs declares Figure 8's ladder: each entry applies its delta on
+// top of every previous rung, starting from the H100 reference (rung 0, the
+// only A100 cell, has no delta — it IS the baseline the speedups divide by).
+var ladderRungs = []struct {
+	Label string
+	Paper float64
+	Apply func(*StepConfig)
+}{
+	{"Reference (A100)", 1.00, nil},
+	{"H100", 1.66, func(c *StepConfig) {}},
+	{"+Batched GEMM", 1.71, func(c *StepConfig) { c.Census.BatchedGEMM = true }},
+	{"+Non-blocking dataloader", 1.78, func(c *StepConfig) { c.NonBlocking = true }},
+	{"+BF16", 2.22, func(c *StepConfig) { c.Census.BF16 = true }},
+	{"+Triton MHA", 2.49, func(c *StepConfig) { c.Census.FusedMHA = true }},
+	{"+Triton LayerNorm", 2.92, func(c *StepConfig) { c.Census.FusedLN = true }},
+	{"+Fused Adam+SWA", 3.29, func(c *StepConfig) {
+		c.Census.FusedAdamSWA, c.Census.BucketedClip = true, true
+	}},
+	{"+DAP-8, no grad ckpt", 5.90, func(c *StepConfig) {
+		c.Census.DAP, c.DAP, c.Ranks = 8, 8, 1024
+		c.Census.GradCheckpoint = false
+	}},
+	{"+CUDA Graph", 7.84, func(c *StepConfig) { c.CUDAGraph = true }},
+	{"+Disable GC", 8.91, func(c *StepConfig) { c.DisableGC = true }},
+	{"+torch.compile", 10.39, func(c *StepConfig) { c.Census.TorchCompile = true }},
+}
+
 // Ladder reproduces Figure 8: optimizations applied cumulatively in the
-// paper's order, measured as speedup over the A100 reference.
+// paper's order, measured as speedup over the A100 reference. The rung
+// configurations come from the ladderRungs declaration; all rungs simulate
+// concurrently on the sweep engine.
 func Ladder() []Rung {
-	mk := func(label string, paper float64, mut func(*StepConfig)) Rung {
-		c := ReferenceConfig(gpu.H100(), 128)
-		c.Name = label
-		mut(&c)
-		return Rung{Label: label, Paper: paper, Config: c}
+	rungs := make([]Rung, len(ladderRungs))
+	cfgs := make([]StepConfig, len(ladderRungs))
+	cum := ReferenceConfig(gpu.H100(), 128)
+	for i, r := range ladderRungs {
+		c := ReferenceConfig(gpu.A100(), 128)
+		if r.Apply != nil {
+			r.Apply(&cum)
+			c = cum
+			c.Name = r.Label
+		}
+		rungs[i] = Rung{Label: r.Label, Paper: r.Paper, Config: c}
+		cfgs[i] = c
 	}
-	rungs := []Rung{
-		{Label: "Reference (A100)", Paper: 1.00, Config: ReferenceConfig(gpu.A100(), 128)},
-		mk("H100", 1.66, func(c *StepConfig) {}),
-		mk("+Batched GEMM", 1.71, func(c *StepConfig) {
-			c.Census.BatchedGEMM = true
-		}),
-		mk("+Non-blocking dataloader", 1.78, func(c *StepConfig) {
-			c.Census.BatchedGEMM = true
-			c.NonBlocking = true
-		}),
-		mk("+BF16", 2.22, func(c *StepConfig) {
-			c.Census.BatchedGEMM, c.NonBlocking = true, true
-			c.Census.BF16 = true
-		}),
-		mk("+Triton MHA", 2.49, func(c *StepConfig) {
-			c.Census.BatchedGEMM, c.NonBlocking, c.Census.BF16 = true, true, true
-			c.Census.FusedMHA = true
-		}),
-		mk("+Triton LayerNorm", 2.92, func(c *StepConfig) {
-			c.Census.BatchedGEMM, c.NonBlocking, c.Census.BF16, c.Census.FusedMHA = true, true, true, true
-			c.Census.FusedLN = true
-		}),
-		mk("+Fused Adam+SWA", 3.29, func(c *StepConfig) {
-			c.Census.BatchedGEMM, c.NonBlocking, c.Census.BF16, c.Census.FusedMHA, c.Census.FusedLN = true, true, true, true, true
-			c.Census.FusedAdamSWA, c.Census.BucketedClip = true, true
-		}),
-		mk("+DAP-8, no grad ckpt", 5.90, func(c *StepConfig) {
-			c.Census.BatchedGEMM, c.NonBlocking, c.Census.BF16, c.Census.FusedMHA, c.Census.FusedLN = true, true, true, true, true
-			c.Census.FusedAdamSWA, c.Census.BucketedClip = true, true
-			c.Census.DAP, c.DAP, c.Ranks = 8, 8, 1024
-			c.Census.GradCheckpoint = false
-		}),
-		mk("+CUDA Graph", 7.84, func(c *StepConfig) {
-			c.Census.BatchedGEMM, c.NonBlocking, c.Census.BF16, c.Census.FusedMHA, c.Census.FusedLN = true, true, true, true, true
-			c.Census.FusedAdamSWA, c.Census.BucketedClip = true, true
-			c.Census.DAP, c.DAP, c.Ranks = 8, 8, 1024
-			c.Census.GradCheckpoint = false
-			c.CUDAGraph = true
-		}),
-		mk("+Disable GC", 8.91, func(c *StepConfig) {
-			c.Census.BatchedGEMM, c.NonBlocking, c.Census.BF16, c.Census.FusedMHA, c.Census.FusedLN = true, true, true, true, true
-			c.Census.FusedAdamSWA, c.Census.BucketedClip = true, true
-			c.Census.DAP, c.DAP, c.Ranks = 8, 8, 1024
-			c.Census.GradCheckpoint = false
-			c.CUDAGraph, c.DisableGC = true, true
-		}),
-		mk("+torch.compile", 10.39, func(c *StepConfig) {
-			c.Census.BatchedGEMM, c.NonBlocking, c.Census.BF16, c.Census.FusedMHA, c.Census.FusedLN = true, true, true, true, true
-			c.Census.FusedAdamSWA, c.Census.BucketedClip = true, true
-			c.Census.DAP, c.DAP, c.Ranks = 8, 8, 1024
-			c.Census.GradCheckpoint = false
-			c.CUDAGraph, c.DisableGC = true, true
-			c.Census.TorchCompile = true
-		}),
-	}
-	base := rungs[0].Config.StepSeconds()
-	rungs[0].Seconds = base
-	rungs[0].Speedup = 1
-	for i := 1; i < len(rungs); i++ {
-		rungs[i].Seconds = rungs[i].Config.StepSeconds()
+	res := runConfigs(0, cfgs)
+	base := res[0].MedianStep.Seconds()
+	for i := range rungs {
+		rungs[i].Seconds = res[i].MedianStep.Seconds()
 		rungs[i].Speedup = base / rungs[i].Seconds
 	}
 	return rungs
@@ -222,39 +318,47 @@ type Barrier struct {
 	Gap   time.Duration
 }
 
-// Figure3 reproduces the barrier breakdown: the gap between the measured
-// step and the per-factor idealized step, decomposed deterministically from
-// the simulator's accounting (the paper subtracts per-factor idealized
-// times; our simulator exposes the same quantities directly). The
-// configuration matches §3.1: DAP applied to the otherwise-unoptimized
-// training — blocking loader, no CUDA graph.
-func Figure3(dapN int) []Barrier {
+// figure3Config returns the §3.1 measurement configuration at DAP-n: DAP
+// applied to the otherwise-unoptimized training — blocking loader, no CUDA
+// graph, checkpointing freed by DAP's memory savings. The paper's profiled
+// measurement runs read far ahead in the dataset, hence the deep prefetch;
+// the steady-state stall behaviour belongs to the TTT experiments.
+func figure3Config(dapN int) StepConfig {
 	cen := workload.Baseline()
 	cen.DAP = dapN
 	cen.GradCheckpoint = false // §3.1 measures DAP runs with ckpt freed
-	ranks := 128 * dapN
-	prog := workload.Census(fullModelConfig(), cen)
-	o := cluster.DefaultOptions(3)
-	o.Arch = gpu.A100()
-	// The paper's profiled measurement runs read far ahead in the dataset;
-	// the steady-state stall behaviour belongs to the TTT experiments.
-	o.Prefetch = 128
-	res := cluster.Simulate(prog, ranks, dapN, o)
+	return StepConfig{
+		Name: fmt.Sprintf("Figure 3 (DAP-%d)", dapN),
+		Arch: gpu.A100(), Ranks: 128 * dapN, DAP: dapN,
+		Census:   cen,
+		Seed:     3,
+		Prefetch: 128,
+	}
+}
+
+// figure3Bars decomposes a simulated DAP-n measurement into the five
+// barrier components: the gap between the measured step and the per-factor
+// idealized step, computed deterministically from the simulator's accounting
+// (the paper subtracts per-factor idealized times; our simulator exposes the
+// same quantities directly).
+func figure3Bars(dapN int, res cluster.Result) []Barrier {
+	c := figure3Config(dapN)
+	prog := censusFor(c.Census)
 
 	// Poor kernel scalability: the extra time DAP-shrunk kernels take
 	// beyond perfect 1/n scaling of their DAP-1 durations, caused by
 	// falling down the bandwidth-efficiency curve.
-	cen1 := cen
+	cen1 := c.Census
 	cen1.DAP = 1
-	prog1 := workload.Census(fullModelConfig(), cen1)
+	prog1 := censusFor(cen1)
 	var kernelGap time.Duration
 	for i, g := range prog.Groups {
 		if g.Serial {
 			continue
 		}
 		g1 := prog1.Groups[i]
-		actual := time.Duration(g.Calls) * o.Arch.KernelDuration(g.PerCallFlops(), g.PerCallBytes(), false)
-		ideal := time.Duration(g1.Calls) * o.Arch.KernelDuration(g1.PerCallFlops(), g1.PerCallBytes(), false) / time.Duration(dapN)
+		actual := time.Duration(g.Calls) * c.Arch.KernelDuration(g.PerCallFlops(), g.PerCallBytes(), false)
+		ideal := time.Duration(g1.Calls) * c.Arch.KernelDuration(g1.PerCallFlops(), g1.PerCallBytes(), false) / time.Duration(dapN)
 		if actual > ideal {
 			kernelGap += actual - ideal
 		}
@@ -281,17 +385,44 @@ func Figure3(dapN int) []Barrier {
 	return out
 }
 
+// Figure3DAPs are the DAP degrees the paper's barrier ablation plots.
+var Figure3DAPs = []int{2, 4, 8}
+
+// Figure3 reproduces one barrier-breakdown column.
+func Figure3(dapN int) []Barrier {
+	return figure3Bars(dapN, figure3Config(dapN).Run())
+}
+
+// Figure3All runs the whole barrier ablation as one grid sweep over the DAP
+// axis and returns the columns keyed by DAP degree.
+func Figure3All() map[int][]Barrier {
+	cfgs := make([]StepConfig, len(Figure3DAPs))
+	for i, d := range Figure3DAPs {
+		cfgs[i] = figure3Config(d)
+	}
+	res := runConfigs(0, cfgs)
+	out := make(map[int][]Barrier, len(Figure3DAPs))
+	for i, d := range Figure3DAPs {
+		out[d] = figure3Bars(d, res[i])
+	}
+	return out
+}
+
 // BaselineDAPSpeedups reproduces the §3.1 observation that naively applying
 // DAP to the unoptimized training yields only 1.42×/1.57×/≈1.57× at
 // DAP-2/4/8. Returned values are speedups over the DAP-1 baseline.
 func BaselineDAPSpeedups() map[int]float64 {
-	base := ReferenceConfig(gpu.A100(), 128).StepSeconds()
-	out := map[int]float64{}
+	cfgs := []StepConfig{ReferenceConfig(gpu.A100(), 128)}
 	for _, d := range []int{2, 4, 8} {
 		cen := workload.Baseline()
 		cen.DAP = d
-		c := StepConfig{Name: "baseline+DAP", Arch: gpu.A100(), Ranks: 128 * d, DAP: d, Census: cen, Seed: 1}
-		out[d] = base / c.StepSeconds()
+		cfgs = append(cfgs, StepConfig{Name: "baseline+DAP", Arch: gpu.A100(), Ranks: 128 * d, DAP: d, Census: cen, Seed: 1})
+	}
+	res := runConfigs(0, cfgs)
+	base := res[0].MedianStep.Seconds()
+	out := map[int]float64{}
+	for i, d := range []int{2, 4, 8} {
+		out[d] = base / res[i+1].MedianStep.Seconds()
 	}
 	return out
 }

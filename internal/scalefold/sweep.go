@@ -1,0 +1,238 @@
+package scalefold
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/cluster"
+	"repro/internal/gpu"
+	"repro/internal/sweep"
+)
+
+// SweepSpec declares a scenario sweep over the simulator: a full-factorial
+// grid of GPU architecture × rank count × DAP width × ablation switch × seed
+// replica, lowered to StepConfig cells and executed on the sweep engine.
+// The `scalefold sweep` subcommand is a flag-parsing shim over this type.
+type SweepSpec struct {
+	// Profile picks the base configuration each cell starts from:
+	// "scalefold" (Figure 7 optimized config, default), "baseline"
+	// (unoptimized OpenFold reference) or "fastfold".
+	Profile string
+	// Arches are GPU architecture names: "A100", "H100".
+	Arches []string
+	Ranks  []int
+	DAPs   []int
+	// Ablations are StepConfig.Ablation values ("none" plus the Figure 3
+	// barrier switches); see the Ablations variable.
+	Ablations []string
+	// Seeds is the number of seed replicas per scenario (axis "seed" with
+	// values 1..Seeds). Each cell derives its RNG seed deterministically
+	// from the replica index and the scenario fingerprint.
+	Seeds int
+	// Steps overrides the per-simulation step count (0 = simulator default).
+	Steps int
+	// Workers bounds the worker pool (<= 0: GOMAXPROCS).
+	Workers int
+	// Cache memoizes results across Run calls. nil selects the process-wide
+	// cache shared with the figure runners; benchmarks and determinism
+	// tests pass a fresh one to force cold execution.
+	Cache *sweep.Cache[cluster.Result]
+}
+
+// DefaultSweepSpec is the out-of-the-box exploration grid: the optimized
+// ScaleFold profile on H100×256 across every DAP width and every barrier
+// ablation — 24 cells the paper never plotted side by side.
+func DefaultSweepSpec() SweepSpec {
+	return SweepSpec{
+		Profile:   "scalefold",
+		Arches:    []string{"H100"},
+		Ranks:     []int{256},
+		DAPs:      []int{1, 2, 4, 8},
+		Ablations: append([]string(nil), Ablations...),
+		Seeds:     1,
+	}
+}
+
+// Grid returns the declared axes. Expansion is exhaustive — infeasible
+// cells (ranks not divisible by DAP) are skipped at lowering time with a
+// note in the row set, not silently dropped from the grid.
+func (s SweepSpec) Grid() sweep.Grid {
+	ints := func(vs []int) []string {
+		out := make([]string, len(vs))
+		for i, v := range vs {
+			out[i] = strconv.Itoa(v)
+		}
+		return out
+	}
+	nSeeds := s.Seeds
+	if nSeeds < 0 {
+		nSeeds = 0 // expansion then fails with `axis "seed" has no values`
+	}
+	seeds := make([]string, nSeeds)
+	for i := range seeds {
+		seeds[i] = strconv.Itoa(i + 1)
+	}
+	return sweep.Grid{Axes: []sweep.Axis{
+		{Name: "arch", Values: s.Arches},
+		{Name: "ranks", Values: ints(s.Ranks)},
+		{Name: "dap", Values: ints(s.DAPs)},
+		{Name: "ablate", Values: s.Ablations},
+		{Name: "seed", Values: seeds},
+	}}
+}
+
+func archByName(name string) (gpu.Arch, error) {
+	switch name {
+	case "A100":
+		return gpu.A100(), nil
+	case "H100":
+		return gpu.H100(), nil
+	}
+	return gpu.Arch{}, fmt.Errorf("unknown arch %q (want A100 or H100)", name)
+}
+
+func validAblation(name string) bool {
+	for _, a := range Ablations {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// configFor lowers one grid point to a runnable StepConfig. The reported
+// error marks infeasible cells (rank/DAP mismatch).
+func (s SweepSpec) configFor(p sweep.Point) (StepConfig, error) {
+	arch, err := archByName(p.Get("arch"))
+	if err != nil {
+		return StepConfig{}, err
+	}
+	ranks, _ := strconv.Atoi(p.Get("ranks"))
+	dap, _ := strconv.Atoi(p.Get("dap"))
+	seedIdx, _ := strconv.Atoi(p.Get("seed"))
+	ablate := p.Get("ablate")
+	if !validAblation(ablate) {
+		return StepConfig{}, fmt.Errorf("unknown ablation %q (want one of %v)", ablate, Ablations)
+	}
+	if ranks < 1 || dap < 1 || ranks%dap != 0 {
+		return StepConfig{}, fmt.Errorf("infeasible cell: %d ranks cannot host DAP-%d", ranks, dap)
+	}
+	var c StepConfig
+	switch s.Profile {
+	case "", "scalefold":
+		c = Figure7Config(arch, ranks, dap)
+	case "baseline":
+		c = ReferenceConfig(arch, ranks)
+		c.DAP = dap
+		c.Census.DAP = dap
+	case "fastfold":
+		c = FastFoldConfig(arch, ranks, dap)
+	default:
+		return StepConfig{}, fmt.Errorf("unknown profile %q (want scalefold, baseline or fastfold)", s.Profile)
+	}
+	c.Name = p.Fingerprint()
+	c.Ablation = ablate
+	c.Steps = s.Steps
+	c.Seed = sweep.SeedFor(int64(seedIdx), p.Fingerprint())
+	return c, nil
+}
+
+// SweepRow is one executed (or skipped) sweep cell.
+type SweepRow struct {
+	Point  sweep.Point
+	Config StepConfig
+	Res    cluster.Result
+	// SkipReason is non-empty for infeasible cells, which carry no result.
+	SkipReason string
+}
+
+// validate rejects spec-wide mistakes — an unknown profile, arch or
+// ablation fails every cell identically, so it is an error, not a grid of
+// skips. Per-cell infeasibility (ranks not divisible by DAP) stays a skip.
+func (s SweepSpec) validate() error {
+	switch s.Profile {
+	case "", "scalefold", "baseline", "fastfold":
+	default:
+		return fmt.Errorf("sweep: unknown profile %q (want scalefold, baseline or fastfold)", s.Profile)
+	}
+	for _, a := range s.Arches {
+		if _, err := archByName(a); err != nil {
+			return fmt.Errorf("sweep: %v", err)
+		}
+	}
+	for _, ab := range s.Ablations {
+		if !validAblation(ab) {
+			return fmt.Errorf("sweep: unknown ablation %q (want one of %v)", ab, Ablations)
+		}
+	}
+	return nil
+}
+
+// Run expands the grid, lowers every point, executes the feasible cells on
+// the engine and returns one row per grid point, in grid order. onProgress
+// (optional) streams completion events.
+func (s SweepSpec) Run(onProgress func(sweep.Progress)) ([]SweepRow, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	points, err := s.Grid().Expand()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SweepRow, len(points))
+	var cells []sweep.Cell[StepConfig]
+	var cellRow []int // cells[i] fills rows[cellRow[i]]
+	for i, p := range points {
+		rows[i].Point = p
+		c, err := s.configFor(p)
+		if err != nil {
+			rows[i].SkipReason = err.Error()
+			continue
+		}
+		rows[i].Config = c
+		cells = append(cells, sweep.Cell[StepConfig]{Key: c.Fingerprint(), Label: p.Fingerprint(), Config: c})
+		cellRow = append(cellRow, i)
+	}
+	cache := s.Cache
+	if cache == nil {
+		cache = stepCache
+	}
+	eng := sweep.Engine[StepConfig, cluster.Result]{
+		Workers:    s.Workers,
+		Cache:      cache,
+		OnProgress: onProgress,
+	}
+	results := eng.Run(cells, StepConfig.simulate)
+	for i, r := range results {
+		rows[cellRow[i]].Res = r
+	}
+	return rows, nil
+}
+
+// SweepTable formats executed rows as the canonical result table: the axis
+// coordinates followed by step times and the full breakdown, all in seconds
+// with fixed precision, so output is byte-identical across worker counts.
+// Skipped cells emit their coordinates with a "skipped" status.
+func SweepTable(rows []SweepRow) sweep.Table {
+	tab := sweep.Table{Header: []string{
+		"arch", "ranks", "dap", "ablate", "seed", "status",
+		"median_step_s", "mean_step_s", "gpu_compute_s", "cpu_exposed_s",
+		"data_wait_s", "comm_xfer_s", "comm_wait_s",
+	}}
+	sec := func(d interface{ Seconds() float64 }) string {
+		return strconv.FormatFloat(d.Seconds(), 'f', 6, 64)
+	}
+	for _, r := range rows {
+		p := r.Point
+		if r.SkipReason != "" {
+			tab.Append(p.Get("arch"), p.Get("ranks"), p.Get("dap"), p.Get("ablate"), p.Get("seed"),
+				"skipped", "", "", "", "", "", "", "")
+			continue
+		}
+		tab.Append(p.Get("arch"), p.Get("ranks"), p.Get("dap"), p.Get("ablate"), p.Get("seed"),
+			"ok", sec(r.Res.MedianStep), sec(r.Res.MeanStep),
+			sec(r.Res.Break.GPUCompute), sec(r.Res.Break.CPUExposed),
+			sec(r.Res.Break.DataWait), sec(r.Res.Break.CommXfer), sec(r.Res.Break.CommWait))
+	}
+	return tab
+}

@@ -1,0 +1,81 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Table is an ordered, string-typed result set ready for emission. Sweep
+// runners format one row per cell, in cell order, so the emitted bytes are
+// identical across worker counts and across warm/cold caches.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Append adds one row; it must have len(Header) fields.
+func (t *Table) Append(row ...string) {
+	t.Rows = append(t.Rows, row)
+}
+
+// WriteCSV emits the table as RFC-4180 CSV with a header row.
+func (t Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if len(r) != len(t.Header) {
+			return fmt.Errorf("sweep: row has %d fields, header has %d", len(r), len(t.Header))
+		}
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON emits the table as a JSON array of objects whose keys follow the
+// header order (hand-encoded: encoding/json would sort map keys).
+func (t Table) WriteJSON(w io.Writer) error {
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, r := range t.Rows {
+		if len(r) != len(t.Header) {
+			return fmt.Errorf("sweep: row has %d fields, header has %d", len(r), len(t.Header))
+		}
+		if _, err := io.WriteString(w, "  {"); err != nil {
+			return err
+		}
+		for j, h := range t.Header {
+			key, err := json.Marshal(h)
+			if err != nil {
+				return err
+			}
+			val, err := json.Marshal(r[j])
+			if err != nil {
+				return err
+			}
+			sep := ""
+			if j > 0 {
+				sep = ", "
+			}
+			if _, err := fmt.Fprintf(w, "%s%s: %s", sep, key, val); err != nil {
+				return err
+			}
+		}
+		tail := "},\n"
+		if i == len(t.Rows)-1 {
+			tail = "}\n"
+		}
+		if _, err := io.WriteString(w, tail); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}
