@@ -13,6 +13,9 @@
 //	scalefold fig11    from-scratch pretraining curve (Figure 11)
 //	scalefold all      everything above in order
 //	scalefold sweep    parallel scenario sweep over axis flags (see -h)
+//	scalefold serve    long-running sweep server: HTTP job queue + store
+//	scalefold submit   submit a sweep job to a running server
+//	scalefold jobs     list, inspect or cancel server jobs
 //	scalefold help     full command reference (docs/cli.md, embedded)
 //
 // See docs/cli.md for the full reference — `scalefold help` prints the same
@@ -20,18 +23,37 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 	"time"
 
 	"repro/docs"
+	"repro/internal/cluster"
 	"repro/internal/pipeline"
 	"repro/internal/scalefold"
+	"repro/internal/service"
+	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/workload"
 )
+
+// runners maps figure subcommands to their printers; allRunners is their
+// `scalefold all` execution order.
+var runners = map[string]func(){
+	"table1": table1, "fig3": fig3, "fig4": fig4, "fig5": fig5,
+	"fig7": fig7, "fig8": fig8, "fig9": fig9, "fig10": fig10, "fig11": fig11,
+}
+
+var allRunners = []string{"table1", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11"}
 
 func main() {
 	cmd := "all"
@@ -45,24 +67,65 @@ func main() {
 	case "sweep":
 		sweepCmd(os.Args[2:])
 		return
+	case "serve":
+		serveCmd(os.Args[2:])
+		return
+	case "submit":
+		submitCmd(os.Args[2:])
+		return
+	case "jobs":
+		jobsCmd(os.Args[2:])
+		return
 	}
-	runners := map[string]func(){
-		"table1": table1, "fig3": fig3, "fig4": fig4, "fig5": fig5,
-		"fig7": fig7, "fig8": fig8, "fig9": fig9, "fig10": fig10, "fig11": fig11,
+	run, ok := runners[cmd]
+	if !ok && cmd != "all" {
+		os.Exit(unknownCommand(os.Stderr, cmd))
+	}
+	// Figure commands (and `all`) accept -store: the process-wide memo then
+	// sits on the persistent store, so cells shared with earlier figure
+	// runs, `sweep -store` invocations or server jobs are not re-simulated.
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	storeDir := fs.String("store", "", `persistent result-store directory ("" = off)`)
+	var args []string
+	if len(os.Args) > 2 {
+		args = os.Args[2:]
+	}
+	fs.Parse(args)
+	if *storeDir != "" {
+		ds, err := store.OpenDisk[cluster.Result](*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", cmd, err)
+			os.Exit(2)
+		}
+		defer func() {
+			scalefold.AttachStore(nil, nil)
+			ds.Close()
+		}()
+		onErr := func(err error) { fmt.Fprintf(os.Stderr, "%s: store: %v\n", cmd, err) }
+		if err := scalefold.AttachStore(ds, onErr); err != nil {
+			onErr(err)
+		}
 	}
 	if cmd == "all" {
-		for _, name := range []string{"table1", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11"} {
+		for _, name := range allRunners {
 			runners[name]()
 			fmt.Println()
 		}
 		return
 	}
-	run, ok := runners[cmd]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (table1, fig3..fig11, sweep, all; see `scalefold help`)\n", cmd)
-		os.Exit(2)
-	}
 	run()
+}
+
+// unknownCommand reports an unrecognized subcommand on w: the command list
+// is parsed out of the embedded docs/cli.md, so the message can never drift
+// from the committed reference. Returns the process exit status (2).
+func unknownCommand(w io.Writer, cmd string) int {
+	fmt.Fprintf(w, "scalefold: unknown command %q\n\ncommands:\n", cmd)
+	for _, name := range docs.Subcommands() {
+		fmt.Fprintf(w, "  %s\n", name)
+	}
+	fmt.Fprintln(w, "\nRun `scalefold help` for the full reference.")
+	return 2
 }
 
 // parseIntList converts a comma-separated flag value to ints.
@@ -79,19 +142,63 @@ func parseIntList(flagName, s string) []int {
 	return out
 }
 
+// axisFlags registers the scenario-axis flags shared by `sweep` (local
+// execution) and `submit` (remote execution), so the two subcommands cannot
+// drift apart.
+type axisFlags struct {
+	arch, ranks, dap, ablate *string
+	profile                  *string
+	seeds, steps, workers    *int
+}
+
+func addAxisFlags(fs *flag.FlagSet) *axisFlags {
+	return &axisFlags{
+		arch:  fs.String("arch", "H100", "comma-separated GPU architectures (A100, H100)"),
+		ranks: fs.String("ranks", "256", "comma-separated GPU counts"),
+		dap:   fs.String("dap", "1,2,4,8", "comma-separated DAP widths"),
+		ablate: fs.String("ablate", "none,zero-launch,perfect-balance,zero-serial,flat-efficiency,zero-comm",
+			"comma-separated barrier ablations"),
+		seeds:   fs.Int("seeds", 1, "seed replicas per scenario"),
+		profile: fs.String("profile", "scalefold", "base config: scalefold, baseline or fastfold"),
+		steps:   fs.Int("steps", 0, "simulated steps per cell (0 = simulator default)"),
+		workers: fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS / server pool)"),
+	}
+}
+
+func (a *axisFlags) jobSpec() service.JobSpec {
+	return service.JobSpec{
+		Profile:   *a.profile,
+		Arches:    sweep.ParseList(*a.arch),
+		Ranks:     parseIntList("ranks", *a.ranks),
+		DAPs:      parseIntList("dap", *a.dap),
+		Ablations: sweep.ParseList(*a.ablate),
+		Seeds:     *a.seeds,
+		Steps:     *a.steps,
+		Workers:   *a.workers,
+	}
+}
+
+func (a *axisFlags) sweepSpec() scalefold.SweepSpec {
+	return scalefold.SweepSpec{
+		Profile:   *a.profile,
+		Arches:    sweep.ParseList(*a.arch),
+		Ranks:     parseIntList("ranks", *a.ranks),
+		DAPs:      parseIntList("dap", *a.dap),
+		Ablations: sweep.ParseList(*a.ablate),
+		Seeds:     *a.seeds,
+		Steps:     *a.steps,
+		Workers:   *a.workers,
+	}
+}
+
 func sweepCmd(args []string) {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
-	arch := fs.String("arch", "H100", "comma-separated GPU architectures (A100, H100)")
-	ranks := fs.String("ranks", "256", "comma-separated GPU counts")
-	dap := fs.String("dap", "1,2,4,8", "comma-separated DAP widths")
-	ablate := fs.String("ablate", "none,zero-launch,perfect-balance,zero-serial,flat-efficiency,zero-comm",
-		"comma-separated barrier ablations")
-	seeds := fs.Int("seeds", 1, "seed replicas per scenario")
-	profile := fs.String("profile", "scalefold", "base config: scalefold, baseline or fastfold")
-	steps := fs.Int("steps", 0, "simulated steps per cell (0 = simulator default)")
-	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	axes := addAxisFlags(fs)
 	csvPath := fs.String("csv", "-", `CSV destination ("-" = stdout, "" = off)`)
 	jsonPath := fs.String("json", "", `JSON destination ("-" = stdout, "" = off)`)
+	storeDir := fs.String("store", "", `persistent result-store directory ("" = off): cells already
+stored are served without re-simulation, new results are stored for
+future sweeps, jobs and figure runs`)
 	quiet := fs.Bool("quiet", false, "suppress streaming progress on stderr")
 	fs.Parse(args)
 	if *csvPath == "-" && *jsonPath == "-" {
@@ -99,15 +206,16 @@ func sweepCmd(args []string) {
 		os.Exit(2)
 	}
 
-	spec := scalefold.SweepSpec{
-		Profile:   *profile,
-		Arches:    sweep.ParseList(*arch),
-		Ranks:     parseIntList("ranks", *ranks),
-		DAPs:      parseIntList("dap", *dap),
-		Ablations: sweep.ParseList(*ablate),
-		Seeds:     *seeds,
-		Steps:     *steps,
-		Workers:   *workers,
+	spec := axes.sweepSpec()
+	if *storeDir != "" {
+		ds, err := store.OpenDisk[cluster.Result](*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(2)
+		}
+		defer ds.Close()
+		spec.Store = ds
+		spec.OnStoreErr = func(err error) { fmt.Fprintf(os.Stderr, "sweep: store: %v\n", err) }
 	}
 	var progress func(sweep.Progress)
 	if !*quiet {
@@ -153,6 +261,130 @@ func sweepCmd(args []string) {
 	}
 	emit(*csvPath, "csv", func(f *os.File) error { return tab.WriteCSV(f) })
 	emit(*jsonPath, "json", func(f *os.File) error { return tab.WriteJSON(f) })
+}
+
+func serveCmd(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8823", "listen address (host:port; port 0 picks a free one)")
+	storeDir := fs.String("store", "scalefold-store", `result store directory ("" = in-memory only)`)
+	workers := fs.Int("workers", 0, "shared simulation worker pool across all jobs (0 = GOMAXPROCS)")
+	jobs := fs.Int("jobs", 2, "jobs executing concurrently (they share the worker pool)")
+	queue := fs.Int("queue", 64, "queued-job limit before submissions are refused with 503")
+	fs.Parse(args)
+
+	srv, err := service.New(service.Config{
+		StoreDir:      *storeDir,
+		Workers:       *workers,
+		MaxActiveJobs: *jobs,
+		QueueLimit:    *queue,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(2)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(2)
+	}
+	storeNote := "in-memory store"
+	if *storeDir != "" {
+		storeNote = fmt.Sprintf("store %q (%d results)", *storeDir, srv.Store().Len())
+	}
+	fmt.Fprintf(os.Stderr, "scalefold serve: listening on http://%s — %s\n", ln.Addr(), storeNote)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		srv.Close()
+		os.Exit(2)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "scalefold serve: shutting down")
+	// Cancel jobs first so open NDJSON streams terminate, then drain HTTP.
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: closing store: %v\n", err)
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		hs.Close()
+	}
+}
+
+func submitCmd(args []string) {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:8823", "sweep server base URL")
+	axes := addAxisFlags(fs)
+	streamFlag := fs.Bool("stream", false, "follow the job's NDJSON stream on stdout until it finishes")
+	fs.Parse(args)
+
+	client := &service.Client{Base: *server}
+	st, err := client.Submit(axes.jobSpec())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "submit: %v\n", err)
+		os.Exit(2)
+	}
+	if !*streamFlag {
+		printJSON(st)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "submit: %s queued (%d cells), streaming\n", st.ID, st.Cells)
+	done, err := client.RawStream(st.ID, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "submit: %v\n", err)
+		os.Exit(2)
+	}
+	if done.State != service.StateDone {
+		fmt.Fprintf(os.Stderr, "submit: job %s ended %s %s\n", st.ID, done.State, done.Error)
+		os.Exit(1)
+	}
+}
+
+func jobsCmd(args []string) {
+	fs := flag.NewFlagSet("jobs", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:8823", "sweep server base URL")
+	cancel := fs.String("cancel", "", "cancel the job with this ID")
+	fs.Parse(args)
+
+	client := &service.Client{Base: *server}
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "jobs: %v\n", err)
+		os.Exit(2)
+	}
+	switch {
+	case *cancel != "":
+		st, err := client.Cancel(*cancel)
+		if err != nil {
+			fail(err)
+		}
+		printJSON(st)
+	case fs.NArg() > 0:
+		st, err := client.Job(fs.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		printJSON(st)
+	default:
+		list, err := client.Jobs()
+		if err != nil {
+			fail(err)
+		}
+		printJSON(struct {
+			Jobs []service.JobStatus `json:"jobs"`
+		}{Jobs: list})
+	}
+}
+
+func printJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
 }
 
 func header(s string) { fmt.Printf("=== %s ===\n", s) }

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/docs"
+)
+
+func TestUnknownCommandPrintsDocumentedListAndExits2(t *testing.T) {
+	var buf bytes.Buffer
+	if code := unknownCommand(&buf, "figz"); code != 2 {
+		t.Fatalf("exit status %d, want 2", code)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `unknown command "figz"`) {
+		t.Fatalf("message must name the bad command:\n%s", out)
+	}
+	subs := docs.Subcommands()
+	if len(subs) == 0 {
+		t.Fatal("docs.Subcommands parsed nothing from cli.md")
+	}
+	for _, name := range subs {
+		if !strings.Contains(out, "  "+name+"\n") {
+			t.Fatalf("command list must include %q (from docs/cli.md):\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "scalefold help") {
+		t.Fatalf("message must point at the full reference:\n%s", out)
+	}
+}
+
+// Every dispatchable command must be documented in cli.md — the list the
+// unknown-command message prints — and vice versa for the figure runners.
+func TestDispatchMatchesDocumentation(t *testing.T) {
+	documented := map[string]bool{}
+	for _, name := range docs.Subcommands() {
+		documented[name] = true
+	}
+	for name := range runners {
+		if !documented[name] {
+			t.Errorf("runner %q missing from docs/cli.md", name)
+		}
+	}
+	for _, name := range []string{"all", "sweep", "serve", "submit", "jobs", "help"} {
+		if !documented[name] {
+			t.Errorf("subcommand %q missing from docs/cli.md", name)
+		}
+	}
+	for _, name := range allRunners {
+		if _, ok := runners[name]; !ok {
+			t.Errorf("allRunners entry %q has no runner", name)
+		}
+	}
+}

@@ -3,10 +3,27 @@
 // verbatim, and docs/cli.md is what reviewers read — they cannot drift apart.
 package docs
 
-import _ "embed"
+import (
+	_ "embed"
+	"strings"
+)
 
 // CLI is the full command reference (docs/cli.md), printed by
 // `scalefold help`.
 //
 //go:embed cli.md
 var CLI string
+
+// Subcommands returns the subcommand names documented in cli.md, in
+// documentation order, parsed from its "### name" headings. The CLI's
+// unknown-command message prints this list, so the binary can never
+// advertise a command set that drifts from the committed reference.
+func Subcommands() []string {
+	var out []string
+	for _, line := range strings.Split(CLI, "\n") {
+		if name, ok := strings.CutPrefix(line, "### "); ok {
+			out = append(out, strings.TrimSpace(name))
+		}
+	}
+	return out
+}

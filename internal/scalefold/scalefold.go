@@ -13,6 +13,8 @@ package scalefold
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -20,6 +22,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/gpu"
 	"repro/internal/model"
+	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/workload"
 )
@@ -108,8 +111,57 @@ func (c StepConfig) Fingerprint() string {
 
 // stepCache memoizes simulation results process-wide by scenario
 // fingerprint: the reference cell shared by Figures 7, 8, 9 and 10 runs
-// once, and repeated sweep cells are free.
+// once, and repeated sweep cells are free. It is the volatile L1 of the
+// memo; AttachStore adds a persistent L2 underneath it.
 var stepCache = sweep.NewCache[cluster.Result]()
+
+// The process-wide persistent layer under stepCache (nil = memory only).
+var (
+	storeMu      sync.RWMutex
+	procStore    store.Store[cluster.Result]
+	procStoreErr func(error)
+)
+
+// simCount counts actual simulator executions (cold cells): the quantity
+// memoization and the persistent store exist to minimize. Simulations
+// reports it; the sweep service exposes it as a metric.
+var simCount atomic.Int64
+
+// Simulations returns how many times the cluster simulator has actually run
+// in this process — cache and store hits excluded.
+func Simulations() int64 { return simCount.Load() }
+
+// AttachStore puts the process-wide memo on a persistent store: every
+// simulation triggered by StepConfig.Run, the figure runners or SweepSpec.Run
+// (unless the spec carries its own Store) first consults s and writes its
+// result through afterwards. The current in-memory memo is drained into s —
+// via sweep.Cache.Snapshot — so results computed before attachment persist
+// too; the first drain error is returned (the attachment stands regardless).
+// onErr, when non-nil, receives later write-through errors; lookups and
+// simulation proceed when the store misbehaves, so a full disk degrades to
+// memory-only operation rather than failing sweeps. Pass nil to detach.
+func AttachStore(s store.Store[cluster.Result], onErr func(error)) error {
+	storeMu.Lock()
+	procStore, procStoreErr = s, onErr
+	storeMu.Unlock()
+	if s == nil {
+		return nil
+	}
+	var firstErr error
+	for _, e := range stepCache.Snapshot() {
+		if err := s.Put(e.Key, e.Value); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// processStore returns the currently attached store, if any.
+func processStore() (store.Store[cluster.Result], func(error)) {
+	storeMu.RLock()
+	defer storeMu.RUnlock()
+	return procStore, procStoreErr
+}
 
 // censusCache memoizes kernel censuses by their options. A census is a pure
 // deterministic derivation of the (fixed) model config, read-only once
@@ -131,15 +183,48 @@ func censusFor(cen workload.Options) *workload.Program {
 // config, not per-scenario work. Not safe concurrently with running sweeps.
 func ResetStepCache() { stepCache = sweep.NewCache[cluster.Result]() }
 
-// simulate runs the configuration cold, bypassing the memoization cache.
+// simulate runs the configuration cold, bypassing the memoization cache and
+// the persistent store.
 func (c StepConfig) simulate() cluster.Result {
+	simCount.Add(1)
 	return cluster.Simulate(censusFor(c.Census), c.Ranks, c.DAP, c.clusterOptions())
 }
 
+// simulateVia resolves the configuration against a persistent store:
+// store hit, else simulate and write through. m, when non-nil, counts how
+// the cell was satisfied. This is the compute function under every memo
+// lookup — the in-memory cache stays the singleflight layer on top.
+func (c StepConfig) simulateVia(st store.Store[cluster.Result], onErr func(error), m *SweepMetrics) cluster.Result {
+	if st == nil {
+		if m != nil {
+			m.Simulated.Add(1)
+		}
+		return c.simulate()
+	}
+	key := c.Fingerprint()
+	if r, ok := st.Get(key); ok {
+		if m != nil {
+			m.StoreHits.Add(1)
+		}
+		return r
+	}
+	r := c.simulate()
+	if m != nil {
+		m.Simulated.Add(1)
+	}
+	if err := st.Put(key, r); err != nil && onErr != nil {
+		onErr(err)
+	}
+	return r
+}
+
 // Run simulates the configuration and returns the cluster result, memoized
-// by Fingerprint.
+// by Fingerprint and backed by the attached persistent store, if any.
 func (c StepConfig) Run() cluster.Result {
-	res, _ := stepCache.Do(c.Fingerprint(), c.simulate)
+	res, _ := stepCache.Do(c.Fingerprint(), func() cluster.Result {
+		st, onErr := processStore()
+		return c.simulateVia(st, onErr, nil)
+	})
 	return res
 }
 
@@ -157,7 +242,10 @@ func runConfigs(workers int, cfgs []StepConfig) []cluster.Result {
 		cells[i] = sweep.Cell[StepConfig]{Key: c.Fingerprint(), Label: c.Name, Config: c}
 	}
 	eng := sweep.Engine[StepConfig, cluster.Result]{Workers: workers, Cache: stepCache}
-	return eng.Run(cells, StepConfig.simulate)
+	return eng.Run(cells, func(c StepConfig) cluster.Result {
+		st, onErr := processStore()
+		return c.simulateVia(st, onErr, nil)
+	})
 }
 
 // ReferenceConfig is the unoptimized OpenFold baseline on `ranks` GPUs.

@@ -7,6 +7,17 @@ import (
 	"repro/internal/gpu"
 )
 
+// skipIfShort skips figure-scale simulations under -short: the race-checked
+// CI job runs `go test -race -short ./...` for concurrency coverage (sweep
+// engine, store, service) and would otherwise spend minutes re-deriving
+// figure shapes the non-race job already checks.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("figure-scale simulation; skipped in -short mode")
+	}
+}
+
 // Reproduction tolerance: the simulated substrate is not the authors'
 // testbed, so we check shape — orderings, rough factors, crossovers — with
 // generous bounds, and record exact values in EXPERIMENTS.md.
@@ -21,6 +32,7 @@ func within(t *testing.T, name string, got, want, relTol float64) {
 }
 
 func TestFigure7Shape(t *testing.T) {
+	skipIfShort(t)
 	rows := Figure7()
 	byLabel := map[string]float64{}
 	for _, r := range rows {
@@ -53,6 +65,7 @@ func TestFigure7Shape(t *testing.T) {
 }
 
 func TestFigure7DAPSpeedupsNearPaper(t *testing.T) {
+	skipIfShort(t)
 	rows := Figure7()
 	byLabel := map[string]float64{}
 	for _, r := range rows {
@@ -66,6 +79,7 @@ func TestFigure7DAPSpeedupsNearPaper(t *testing.T) {
 }
 
 func TestLadderMonotoneAndFinalSpeedup(t *testing.T) {
+	skipIfShort(t)
 	rungs := Ladder()
 	if len(rungs) != 12 {
 		t.Fatalf("12 rungs expected, got %d", len(rungs))
@@ -87,6 +101,7 @@ func TestLadderMonotoneAndFinalSpeedup(t *testing.T) {
 }
 
 func TestLadderKeyRungs(t *testing.T) {
+	skipIfShort(t)
 	rungs := Ladder()
 	get := func(label string) Rung {
 		for _, r := range rungs {
@@ -110,6 +125,7 @@ func TestLadderKeyRungs(t *testing.T) {
 }
 
 func TestFigure3SharesShape(t *testing.T) {
+	skipIfShort(t)
 	shares := map[int]map[string]float64{}
 	for _, d := range []int{2, 4, 8} {
 		m := map[string]float64{}
@@ -145,6 +161,7 @@ func TestFigure3SharesShape(t *testing.T) {
 }
 
 func TestBaselineDAPSaturates(t *testing.T) {
+	skipIfShort(t)
 	s := BaselineDAPSpeedups()
 	// Paper §3.1: 1.42x, 1.57x, and no gain at DAP-8 over DAP-4.
 	if s[2] < 1.1 || s[2] > 2.1 {
@@ -189,6 +206,7 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestFigure9Shape(t *testing.T) {
+	skipIfShort(t)
 	bars := Figure9()
 	if len(bars) != 3 {
 		t.Fatalf("3 bars expected")
@@ -208,6 +226,7 @@ func TestFigure9Shape(t *testing.T) {
 }
 
 func TestFigure10Shape(t *testing.T) {
+	skipIfShort(t)
 	rows := Figure10()
 	if !(rows[2].Minutes < rows[1].Minutes && rows[1].Minutes < rows[0].Minutes) {
 		t.Fatalf("TTT ordering wrong: %+v", rows)
@@ -222,6 +241,7 @@ func TestFigure10Shape(t *testing.T) {
 }
 
 func TestFigure11Shape(t *testing.T) {
+	skipIfShort(t)
 	sched, res := Figure11()
 	if !res.MetInitial {
 		t.Fatal("0.8 must be crossed before step 5000")

@@ -1,0 +1,245 @@
+package scalefold
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/store"
+	"repro/internal/sweep"
+)
+
+// tinySpec is a 4-cell sweep (DAP {1,2} × ablation {none, zero-launch}) at
+// small rank counts: fast enough to run cold several times per test, real
+// enough to exercise the simulator end to end.
+func tinySpec(cache *sweep.Cache[cluster.Result]) SweepSpec {
+	s := testSpec(2, cache)
+	s.DAPs = []int{1, 2}
+	s.Ablations = []string{"none", "zero-launch"}
+	return s
+}
+
+func TestStoreBackedMemoEmitsIdenticalBytes(t *testing.T) {
+	cold := sweepCSV(t, tinySpec(nil))
+
+	// Same sweep against a persistent store, fresh in-memory cache each run
+	// (as after a restart): first run simulates and fills the store, second
+	// run serves every cell from the store — both must emit the bytes of
+	// the cold run, for CSV and JSON alike.
+	st := store.NewMem[cluster.Result]()
+	first := tinySpec(nil)
+	first.Store = st
+	first.Metrics = &SweepMetrics{}
+	firstCSV := sweepCSV(t, first)
+	if n := first.Metrics.StoreHits.Load(); n != 0 {
+		t.Fatalf("first run hit the empty store %d times", n)
+	}
+	if n := first.Metrics.Simulated.Load(); n != 4 {
+		t.Fatalf("first run simulated %d cells, want 4", n)
+	}
+	if st.Len() != 4 {
+		t.Fatalf("store holds %d results, want 4", st.Len())
+	}
+
+	second := tinySpec(nil)
+	second.Store = st
+	second.Metrics = &SweepMetrics{}
+	secondCSV := sweepCSV(t, second)
+	if n := second.Metrics.Simulated.Load(); n != 0 {
+		t.Fatalf("store-warm run re-simulated %d cells, want 0", n)
+	}
+	if n := second.Metrics.StoreHits.Load(); n != 4 {
+		t.Fatalf("store-warm run had %d store hits, want 4", n)
+	}
+	if !bytes.Equal(cold, firstCSV) || !bytes.Equal(cold, secondCSV) {
+		t.Fatalf("store-backed memo must emit byte-identical CSV:\ncold:\n%s\nfirst:\n%s\nsecond:\n%s", cold, firstCSV, secondCSV)
+	}
+
+	jsonOf := func(s SweepSpec) []byte {
+		rows, err := s.Run(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := SweepTable(rows).WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	coldJSON := jsonOf(tinySpec(nil))
+	warm := tinySpec(nil)
+	warm.Store = st
+	if !bytes.Equal(coldJSON, jsonOf(warm)) {
+		t.Fatal("store-backed memo must emit byte-identical JSON")
+	}
+}
+
+func TestStoreSurvivesDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d1, err := store.OpenDisk[cluster.Result](dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tinySpec(nil)
+	first.Store = d1
+	firstCSV := sweepCSV(t, first)
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": reload the store from disk; the sweep must be served fully
+	// from it — cluster.Result must round-trip through the JSON log
+	// byte-exactly, down to every emitted duration digit.
+	d2, err := store.OpenDisk[cluster.Result](dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	second := tinySpec(nil)
+	second.Store = d2
+	second.Metrics = &SweepMetrics{}
+	secondCSV := sweepCSV(t, second)
+	if n := second.Metrics.Simulated.Load(); n != 0 {
+		t.Fatalf("reloaded store must serve every cell, simulated %d", n)
+	}
+	if !bytes.Equal(firstCSV, secondCSV) {
+		t.Fatalf("disk round trip changed emitted bytes:\n%s\nvs\n%s", firstCSV, secondCSV)
+	}
+}
+
+func TestAttachStoreDrainsMemo(t *testing.T) {
+	// Results memoized before attachment must be drained into the store via
+	// Cache.Snapshot; results computed after go through write-through.
+	ResetStepCache()
+	defer func() {
+		if err := AttachStore(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		ResetStepCache()
+	}()
+
+	pre := tinySpec(nil).Grid()
+	points, err := pre.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tinySpec(nil)
+	cfg, err := spec.configFor(points[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.Run() // lands in the process-wide memo only
+
+	st := store.NewMem[cluster.Result]()
+	if err := AttachStore(st, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := st.Get(cfg.Fingerprint()); !ok || got != want {
+		t.Fatalf("attach must drain the memo: %v, %v", got, ok)
+	}
+
+	// Post-attach runs write through: a config not yet simulated appears.
+	cfg2, err := spec.configFor(points[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := cfg2.Run()
+	if got, ok := st.Get(cfg2.Fingerprint()); !ok || got != res2 {
+		t.Fatal("post-attach Run must write through to the store")
+	}
+
+	// And a fresh memo (simulating a restart) is served from the store: the
+	// simulation counter must not move.
+	ResetStepCache()
+	before := Simulations()
+	if got := cfg.Run(); got != want {
+		t.Fatal("store-served Run changed the result")
+	}
+	if Simulations() != before {
+		t.Fatal("Run after memo reset must be served from the store, not re-simulated")
+	}
+}
+
+func TestSweepMetricsCountMemoHits(t *testing.T) {
+	cache := sweep.NewCache[cluster.Result]()
+	s := tinySpec(cache)
+	s.Metrics = &SweepMetrics{}
+	if _, err := s.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	s2 := tinySpec(cache)
+	s2.Metrics = &SweepMetrics{}
+	if _, err := s2.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := s2.Metrics.MemoHits.Load(); n != 4 {
+		t.Fatalf("cache-warm run had %d memo hits, want 4", n)
+	}
+	if n := s2.Metrics.Simulated.Load(); n != 0 {
+		t.Fatalf("cache-warm run simulated %d cells, want 0", n)
+	}
+}
+
+func TestSweepOnRowStreamsEveryRow(t *testing.T) {
+	s := testSpec(2, nil)
+	s.Ranks = []int{30} // DAP 4 and 8 infeasible -> skipped rows stream too
+	s.Ablations = []string{"none"}
+	seen := map[int]SweepRow{}
+	var order []int
+	s.OnRow = func(i int, row SweepRow) {
+		if _, dup := seen[i]; dup {
+			t.Errorf("row %d streamed twice", i)
+		}
+		seen[i] = row
+		order = append(order, i)
+	}
+	rows, err := s.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(rows) {
+		t.Fatalf("streamed %d rows, want %d", len(seen), len(rows))
+	}
+	skips := 0
+	for i, row := range rows {
+		got := seen[i]
+		if got.SkipReason != row.SkipReason || got.Res != row.Res {
+			t.Fatalf("streamed row %d differs from returned row", i)
+		}
+		if row.SkipReason != "" {
+			skips++
+		}
+	}
+	// Skipped rows stream first, before any executed cell.
+	for k := 0; k < skips; k++ {
+		if seen[order[k]].SkipReason == "" {
+			t.Fatalf("row order %v: first %d events must be the skips", order, skips)
+		}
+	}
+}
+
+func TestSweepGateWrapsColdCellsOnly(t *testing.T) {
+	cache := sweep.NewCache[cluster.Result]()
+	warm := tinySpec(cache)
+	if _, err := warm.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	s := tinySpec(cache)
+	gated := 0
+	s.Gate = func(run func()) { gated++; run() }
+	if _, err := s.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if gated != 0 {
+		t.Fatalf("gate ran %d times on a memo-warm sweep, want 0", gated)
+	}
+	cold := tinySpec(nil)
+	gated = 0
+	cold.Gate = func(run func()) { gated++; run() }
+	if _, err := cold.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if gated != 4 {
+		t.Fatalf("gate ran %d times on a cold sweep, want 4", gated)
+	}
+}

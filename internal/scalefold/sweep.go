@@ -3,9 +3,11 @@ package scalefold
 import (
 	"fmt"
 	"strconv"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/gpu"
+	"repro/internal/store"
 	"repro/internal/sweep"
 )
 
@@ -37,6 +39,35 @@ type SweepSpec struct {
 	// cache shared with the figure runners; benchmarks and determinism
 	// tests pass a fresh one to force cold execution.
 	Cache *sweep.Cache[cluster.Result]
+	// Store, when non-nil, persistently backs the memo for this sweep:
+	// cells are looked up in the store before simulating and written
+	// through after. nil falls back to the process-wide store attached via
+	// AttachStore (which may itself be nil: memory-only).
+	Store store.Store[cluster.Result]
+	// OnStoreErr, when non-nil, receives store write-through errors (the
+	// sweep continues; a failing store degrades to memory-only operation).
+	OnStoreErr func(error)
+	// Metrics, when non-nil, counts how each executed cell was satisfied.
+	Metrics *SweepMetrics
+	// OnRow, when non-nil, streams rows as they settle: every skipped row
+	// first (in grid order, before execution starts), then each executed
+	// row as its cell completes (completion order; calls are serialized).
+	// The sweep service's NDJSON endpoint hangs off this hook.
+	OnRow func(i int, row SweepRow)
+	// Gate, when non-nil, wraps the execution of each cold cell. The sweep
+	// service uses it to bound total simulation concurrency across
+	// concurrent jobs with one server-wide semaphore — and to drain
+	// cancelled jobs quickly by skipping the run (the cell then reports a
+	// zero Result, which is never persisted).
+	Gate func(run func())
+}
+
+// SweepMetrics counts how the cells of a Run were satisfied. All fields are
+// safe to read concurrently while the sweep runs.
+type SweepMetrics struct {
+	Simulated atomic.Int64 // ran the simulator
+	StoreHits atomic.Int64 // served from the persistent store
+	MemoHits  atomic.Int64 // settled by the in-memory memo (incl. singleflight waits)
 }
 
 // DefaultSweepSpec is the out-of-the-box exploration grid: the optimized
@@ -168,6 +199,16 @@ func (s SweepSpec) validate() error {
 	return nil
 }
 
+// Validate rejects spec-wide mistakes without running anything: an unknown
+// profile, architecture or ablation, or a grid that cannot expand. The sweep
+// service validates jobs at submission time with it.
+func (s SweepSpec) Validate() error {
+	if err := s.validate(); err != nil {
+		return err
+	}
+	return s.Grid().Validate()
+}
+
 // Run expands the grid, lowers every point, executes the feasible cells on
 // the engine and returns one row per grid point, in grid order. onProgress
 // (optional) streams completion events.
@@ -193,16 +234,53 @@ func (s SweepSpec) Run(onProgress func(sweep.Progress)) ([]SweepRow, error) {
 		cells = append(cells, sweep.Cell[StepConfig]{Key: c.Fingerprint(), Label: p.Fingerprint(), Config: c})
 		cellRow = append(cellRow, i)
 	}
+	if s.OnRow != nil {
+		for i := range rows {
+			if rows[i].SkipReason != "" {
+				s.OnRow(i, rows[i])
+			}
+		}
+	}
+	st, onErr := s.Store, s.OnStoreErr
+	if st == nil {
+		var attachedErr func(error)
+		st, attachedErr = processStore()
+		if onErr == nil {
+			onErr = attachedErr
+		}
+	}
+	run := func(c StepConfig) cluster.Result {
+		if s.Gate == nil {
+			return c.simulateVia(st, onErr, s.Metrics)
+		}
+		var r cluster.Result
+		s.Gate(func() { r = c.simulateVia(st, onErr, s.Metrics) })
+		return r
+	}
 	cache := s.Cache
 	if cache == nil {
 		cache = stepCache
+	}
+	var onResult func(int, cluster.Result, bool)
+	if s.OnRow != nil || s.Metrics != nil {
+		onResult = func(ci int, r cluster.Result, cached bool) {
+			if cached && s.Metrics != nil {
+				s.Metrics.MemoHits.Add(1)
+			}
+			if s.OnRow != nil {
+				ri := cellRow[ci]
+				rows[ri].Res = r
+				s.OnRow(ri, rows[ri])
+			}
+		}
 	}
 	eng := sweep.Engine[StepConfig, cluster.Result]{
 		Workers:    s.Workers,
 		Cache:      cache,
 		OnProgress: onProgress,
+		OnResult:   onResult,
 	}
-	results := eng.Run(cells, StepConfig.simulate)
+	results := eng.Run(cells, run)
 	for i, r := range results {
 		rows[cellRow[i]].Res = r
 	}

@@ -54,6 +54,7 @@ func TestSweepGridIs24Cells(t *testing.T) {
 }
 
 func TestSweepWorkerCountDoesNotChangeOutput(t *testing.T) {
+	skipIfShort(t)
 	serial := sweepCSV(t, testSpec(1, nil))
 	parallel := sweepCSV(t, testSpec(8, nil))
 	if !bytes.Equal(serial, parallel) {
@@ -68,6 +69,7 @@ func TestSweepWorkerCountDoesNotChangeOutput(t *testing.T) {
 }
 
 func TestSweepMemoizationMatchesColdRun(t *testing.T) {
+	skipIfShort(t)
 	cold := sweepCSV(t, testSpec(4, nil))
 	cache := sweep.NewCache[cluster.Result]()
 	warm1 := sweepCSV(t, testSpec(4, cache))

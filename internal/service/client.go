@@ -1,0 +1,187 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is the thin HTTP client behind `scalefold submit` and `scalefold
+// jobs`: plain JSON over the /v1 API, no state beyond the base URL.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8823".
+	Base string
+	// HTTP overrides the transport (nil = http.DefaultClient). Streams can
+	// outlive any client timeout, so a custom client should keep Timeout 0
+	// and bound dials/TLS instead.
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.Base, "/") + path
+}
+
+// decode parses a JSON response, lifting the server's error envelope (and
+// non-2xx status) into a Go error.
+func decode[T any](resp *http.Response, out *T) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("service: reading response: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var ae apiError
+		if json.Unmarshal(body, &ae) == nil && ae.Error != "" {
+			return fmt.Errorf("service: %s (HTTP %d)", ae.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("service: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("service: decoding response: %w", err)
+	}
+	return nil
+}
+
+// Submit posts a job spec and returns the accepted job's status.
+func (c *Client) Submit(spec JobSpec) (JobStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("service: %w", err)
+	}
+	resp, err := c.http().Post(c.url("/v1/jobs"), "application/json", bytes.NewReader(body))
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("service: %w", err)
+	}
+	var st JobStatus
+	return st, decode(resp, &st)
+}
+
+// Jobs lists every job on the server, in submit order.
+func (c *Client) Jobs() ([]JobStatus, error) {
+	resp, err := c.http().Get(c.url("/v1/jobs"))
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	var out struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	return out.Jobs, decode(resp, &out)
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(id string) (JobStatus, error) {
+	resp, err := c.http().Get(c.url("/v1/jobs/" + id))
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("service: %w", err)
+	}
+	var st JobStatus
+	return st, decode(resp, &st)
+}
+
+// Cancel cancels a queued or running job and returns its status.
+func (c *Client) Cancel(id string) (JobStatus, error) {
+	resp, err := c.http().Post(c.url("/v1/jobs/"+id+"/cancel"), "application/json", nil)
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("service: %w", err)
+	}
+	var st JobStatus
+	return st, decode(resp, &st)
+}
+
+// StoreStatus fetches the server's store statistics.
+func (c *Client) StoreStatus() (StoreStatus, error) {
+	resp, err := c.http().Get(c.url("/v1/store"))
+	if err != nil {
+		return StoreStatus{}, fmt.Errorf("service: %w", err)
+	}
+	var st StoreStatus
+	return st, decode(resp, &st)
+}
+
+// Stream follows a job's NDJSON stream to completion. onRow (optional)
+// receives each RowEvent as it arrives; returning an error aborts the
+// stream. Stream returns the terminal DoneEvent.
+func (c *Client) Stream(id string, onRow func(RowEvent) error) (DoneEvent, error) {
+	resp, err := c.http().Get(c.url("/v1/jobs/" + id + "/stream"))
+	if err != nil {
+		return DoneEvent{}, fmt.Errorf("service: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var st DoneEvent
+		return st, decode(resp, &st) // lifts the error envelope
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var kind struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &kind); err != nil {
+			return DoneEvent{}, fmt.Errorf("service: bad stream line %q: %w", line, err)
+		}
+		switch kind.Type {
+		case "row":
+			if onRow == nil {
+				continue
+			}
+			var ev RowEvent
+			if err := json.Unmarshal(line, &ev); err != nil {
+				return DoneEvent{}, fmt.Errorf("service: bad row event: %w", err)
+			}
+			if err := onRow(ev); err != nil {
+				return DoneEvent{}, err
+			}
+		case "done":
+			var ev DoneEvent
+			if err := json.Unmarshal(line, &ev); err != nil {
+				return DoneEvent{}, fmt.Errorf("service: bad done event: %w", err)
+			}
+			return ev, nil
+		default:
+			return DoneEvent{}, fmt.Errorf("service: unknown stream event type %q", kind.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return DoneEvent{}, fmt.Errorf("service: %w", err)
+	}
+	return DoneEvent{}, fmt.Errorf("service: stream for %s ended without a done event", id)
+}
+
+// RawStream follows a job's stream and prints one JSON object per line to w
+// — what `scalefold submit -stream` shows. It returns the terminal
+// DoneEvent.
+func (c *Client) RawStream(id string, w io.Writer) (DoneEvent, error) {
+	var done DoneEvent
+	done, err := c.Stream(id, func(ev RowEvent) error {
+		line, merr := json.Marshal(ev)
+		if merr != nil {
+			return merr
+		}
+		_, werr := fmt.Fprintf(w, "%s\n", line)
+		return werr
+	})
+	if err != nil {
+		return done, err
+	}
+	line, merr := json.Marshal(done)
+	if merr == nil {
+		fmt.Fprintf(w, "%s\n", line)
+	}
+	return done, nil
+}

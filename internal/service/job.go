@@ -1,0 +1,161 @@
+package service
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/scalefold"
+)
+
+// job is one queued/running/finished sweep job: the spec, its lifecycle
+// state, and the append-only NDJSON event log that streaming clients replay
+// and follow.
+type job struct {
+	id      string
+	spec    JobSpec
+	cells   int
+	created time.Time
+
+	metrics   scalefold.SweepMetrics
+	cancelled atomic.Bool
+
+	mu       sync.Mutex
+	state    string
+	started  *time.Time
+	finished *time.Time
+	err      string
+	storeErr string
+	rows     int // settled rows streamed so far (executed + skipped)
+	skipped  int
+	events   [][]byte      // marshaled NDJSON lines, append-only
+	notify   chan struct{} // closed and replaced on every append/state change
+}
+
+// wake signals stream followers. Callers hold j.mu.
+func (j *job) wakeLocked() {
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+func (j *job) start() {
+	j.mu.Lock()
+	// A queued job can be cancel-finalized between the scheduler's dequeue
+	// and this call; never resurrect a settled job.
+	if !j.finishedLocked() {
+		now := time.Now()
+		j.state, j.started = StateRunning, &now
+		j.wakeLocked()
+	}
+	j.mu.Unlock()
+}
+
+// cancel marks the job cancelled. A job still sitting in the queue settles
+// immediately — its status flips to cancelled and its stream ends now, not
+// when a scheduler worker eventually dequeues it. A running job drains
+// through the gates and is finalized by runJob; finalize is idempotent, so
+// the scheduler's later pass over an already-settled queued job is a no-op.
+func (j *job) cancel() {
+	j.cancelled.Store(true)
+	j.mu.Lock()
+	if j.state == StateQueued {
+		j.finalizeLocked(StateCancelled, nil)
+	}
+	j.mu.Unlock()
+}
+
+func (j *job) noteStoreErr(err error) {
+	j.mu.Lock()
+	j.storeErr = err.Error()
+	j.mu.Unlock()
+}
+
+// streamRow is the SweepSpec.OnRow hook: it formats the settled row through
+// the canonical result table (so a streamed row is byte-for-byte what the
+// CSV/JSON emitters would print for that cell, however it was satisfied) and
+// appends it to the event log.
+func (j *job) streamRow(i int, row scalefold.SweepRow) {
+	if j.cancelled.Load() {
+		return // drained cells carry zero results; don't stream them
+	}
+	tab := scalefold.SweepTable([]scalefold.SweepRow{row})
+	data := make(map[string]string, len(tab.Header))
+	for k, h := range tab.Header {
+		data[h] = tab.Rows[0][k]
+	}
+	ev := RowEvent{Type: "row", Index: i, Status: data["status"], Skip: row.SkipReason, Data: data}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return // unreachable: RowEvent is marshal-safe
+	}
+	j.mu.Lock()
+	j.rows++
+	if row.SkipReason != "" {
+		j.skipped++
+	}
+	j.events = append(j.events, append(line, '\n'))
+	j.wakeLocked()
+	j.mu.Unlock()
+}
+
+// finalize settles the job's terminal state and appends the DoneEvent that
+// ends every stream. Idempotent: the first terminal transition wins.
+func (j *job) finalize(state string, err error) {
+	j.mu.Lock()
+	j.finalizeLocked(state, err)
+	j.mu.Unlock()
+}
+
+func (j *job) finalizeLocked(state string, err error) {
+	if j.finishedLocked() {
+		return
+	}
+	now := time.Now()
+	j.state, j.finished = state, &now
+	if err != nil {
+		j.err = err.Error()
+	}
+	done := DoneEvent{
+		Type: "done", State: state, Rows: j.rows, Skipped: j.skipped,
+		Simulated: j.metrics.Simulated.Load(),
+		StoreHits: j.metrics.StoreHits.Load(),
+		MemoHits:  j.metrics.MemoHits.Load(),
+		Error:     j.err,
+	}
+	line, _ := json.Marshal(done)
+	j.events = append(j.events, append(line, '\n'))
+	j.wakeLocked()
+}
+
+// finished reports whether the job reached a terminal state. Callers hold
+// j.mu.
+func (j *job) finishedLocked() bool {
+	return j.state == StateDone || j.state == StateCancelled || j.state == StateFailed
+}
+
+// status snapshots the job for the wire.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID: j.id, State: j.state, Spec: j.spec,
+		Cells: j.cells, Done: j.rows, Skipped: j.skipped,
+		Simulated: j.metrics.Simulated.Load(),
+		StoreHits: j.metrics.StoreHits.Load(),
+		MemoHits:  j.metrics.MemoHits.Load(),
+		Created:   j.created, Started: j.started, Finished: j.finished,
+		Error: j.err, StoreErr: j.storeErr,
+	}
+}
+
+// follow returns the events from offset onwards plus the channel to wait on
+// for more and whether the log is complete.
+func (j *job) follow(offset int) (events [][]byte, done bool, wait <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if offset < len(j.events) {
+		events = j.events[offset:]
+	}
+	return events, j.finishedLocked() && offset+len(events) == len(j.events), j.notify
+}

@@ -1,0 +1,303 @@
+// Package service is the serving layer over the sweep engine: a long-running
+// HTTP server (`scalefold serve`) that accepts sweep-spec jobs, schedules
+// them FIFO on a shared bounded worker pool, streams per-cell results as
+// NDJSON, and backs the scenario memo with a persistent fingerprint-keyed
+// result store (package store) — so results survive restarts and are shared
+// across every job, every CLI sweep and every figure runner pointed at the
+// same store directory.
+//
+// Endpoints (all JSON):
+//
+//	POST   /v1/jobs             submit a JobSpec; 202 + JobStatus
+//	GET    /v1/jobs             list jobs, submit order
+//	GET    /v1/jobs/{id}        one job's status
+//	GET    /v1/jobs/{id}/stream NDJSON RowEvents, ending with a DoneEvent
+//	POST   /v1/jobs/{id}/cancel cancel a queued or running job
+//	GET    /v1/store            persistent-store statistics
+//	GET    /v1/healthz          liveness
+package service
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/scalefold"
+	"repro/internal/store"
+	"repro/internal/sweep"
+)
+
+// Config sizes the server.
+type Config struct {
+	// StoreDir roots the persistent result store; "" serves from memory
+	// only (results then die with the process).
+	StoreDir string
+	// Workers bounds total in-flight simulations across ALL jobs — the
+	// shared worker pool. <= 0 means GOMAXPROCS.
+	Workers int
+	// MaxActiveJobs bounds concurrently executing jobs (they share the
+	// Workers pool; more active jobs trades per-job latency for fairness).
+	// <= 0 means 2.
+	MaxActiveJobs int
+	// QueueLimit bounds queued-but-not-started jobs; submissions beyond it
+	// are refused with 503. <= 0 means 64.
+	QueueLimit int
+	// MaxFinishedJobs bounds how many terminal jobs (and their streamed
+	// event logs) are retained for listing and replay; the oldest finished
+	// jobs are evicted first, at submission time, so a long-running server
+	// does not grow without bound. <= 0 means 256.
+	MaxFinishedJobs int
+}
+
+// Server owns the job queue, the shared worker pool and the result store.
+// Create with New, serve its Handler, and Close it on shutdown.
+type Server struct {
+	cfg   Config
+	st    store.Store[cluster.Result]
+	disk  *store.Disk[cluster.Result] // nil when memory-only
+	slots chan struct{}               // shared simulation-concurrency pool
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // job IDs in submit order
+	seq    int
+	closed bool
+
+	queue chan *job
+	wg    sync.WaitGroup
+}
+
+// New opens the store (replaying any existing segments) and starts the
+// scheduler goroutines.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxActiveJobs <= 0 {
+		cfg.MaxActiveJobs = 2
+	}
+	if cfg.QueueLimit <= 0 {
+		cfg.QueueLimit = 64
+	}
+	if cfg.MaxFinishedJobs <= 0 {
+		cfg.MaxFinishedJobs = 256
+	}
+	s := &Server{
+		cfg:   cfg,
+		slots: make(chan struct{}, cfg.Workers),
+		jobs:  map[string]*job{},
+		queue: make(chan *job, cfg.QueueLimit),
+	}
+	if cfg.StoreDir != "" {
+		d, err := store.OpenDisk[cluster.Result](cfg.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		s.disk, s.st = d, d
+	} else {
+		s.st = store.NewMem[cluster.Result]()
+	}
+	for i := 0; i < cfg.MaxActiveJobs; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.runJob(j)
+			}
+		}()
+	}
+	return s, nil
+}
+
+// Store exposes the server's result store (read-mostly: stats, tests).
+func (s *Server) Store() store.Store[cluster.Result] { return s.st }
+
+// Close stops accepting jobs, cancels whatever is queued or running, waits
+// for the schedulers to drain and closes the store. Safe to call once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for _, j := range s.jobs {
+		j.cancel()
+	}
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+	if s.disk != nil {
+		return s.disk.Close()
+	}
+	return nil
+}
+
+// Submit validates and enqueues a job, returning its initial status.
+func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
+	spec = spec.withDefaults()
+	sw := spec.sweepSpec()
+	if err := sw.Validate(); err != nil {
+		return JobStatus{}, &BadSpecError{Err: err}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return JobStatus{}, fmt.Errorf("service: server is shutting down")
+	}
+	s.seq++
+	j := &job{
+		id:      fmt.Sprintf("job-%06d", s.seq),
+		spec:    spec,
+		state:   StateQueued,
+		cells:   sw.Grid().Size(),
+		created: time.Now(),
+		notify:  make(chan struct{}),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.seq--
+		s.mu.Unlock()
+		return JobStatus{}, &QueueFullError{Limit: s.cfg.QueueLimit}
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.pruneLocked()
+	s.mu.Unlock()
+	return j.status(), nil
+}
+
+// pruneLocked evicts the oldest terminal jobs beyond the retention limit.
+// Open streams keep their *job alive through their own reference; eviction
+// only stops new lookups. Callers hold s.mu.
+func (s *Server) pruneLocked() {
+	finished := 0
+	for _, id := range s.order {
+		s.jobs[id].mu.Lock()
+		done := s.jobs[id].finishedLocked()
+		s.jobs[id].mu.Unlock()
+		if done {
+			finished++
+		}
+	}
+	if finished <= s.cfg.MaxFinishedJobs {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		done := j.finishedLocked()
+		j.mu.Unlock()
+		if done && finished > s.cfg.MaxFinishedJobs {
+			delete(s.jobs, id)
+			finished--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// BadSpecError marks a submission refused for an invalid sweep spec (400).
+type BadSpecError struct{ Err error }
+
+func (e *BadSpecError) Error() string { return e.Err.Error() }
+
+// QueueFullError marks a submission refused for backpressure (503).
+type QueueFullError struct{ Limit int }
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("service: job queue full (%d)", e.Limit)
+}
+
+// Job returns a job's status by ID.
+func (s *Server) Job(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.status(), true
+}
+
+// Jobs returns every job's status in submit order.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].status())
+	}
+	return out
+}
+
+// Cancel cancels a queued or running job. Cancelling a finished job is a
+// no-op; an unknown ID reports false.
+func (s *Server) Cancel(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	j.cancel()
+	return j.status(), true
+}
+
+// StoreStatus reports the persistent store's state.
+func (s *Server) StoreStatus() StoreStatus {
+	st := StoreStatus{Keys: s.st.Len(), Simulations: scalefold.Simulations()}
+	if s.disk != nil {
+		st.Dir = s.disk.Dir()
+		st.Dropped = s.disk.Dropped()
+	}
+	return st
+}
+
+// runJob executes one job on the shared pool. Cells resolve through three
+// layers: the job-local memo (singleflight within the job), the server's
+// persistent store (shared across jobs and restarts), and only then the
+// simulator — gated by the server-wide slot semaphore so concurrent jobs
+// cannot oversubscribe the machine.
+func (s *Server) runJob(j *job) {
+	if j.cancelled.Load() {
+		j.finalize(StateCancelled, nil)
+		return
+	}
+	j.start()
+	sw := j.spec.sweepSpec()
+	sw.Cache = sweep.NewCache[cluster.Result]()
+	sw.Store = s.st
+	sw.OnStoreErr = j.noteStoreErr
+	sw.Metrics = &j.metrics
+	sw.Workers = j.spec.Workers
+	if sw.Workers <= 0 || sw.Workers > s.cfg.Workers {
+		sw.Workers = s.cfg.Workers
+	}
+	sw.Gate = func(run func()) {
+		if j.cancelled.Load() {
+			return // drain: cell settles as a zero row, never persisted
+		}
+		s.slots <- struct{}{}
+		defer func() { <-s.slots }()
+		if j.cancelled.Load() {
+			return
+		}
+		run()
+	}
+	sw.OnRow = j.streamRow
+	_, err := sw.Run(nil)
+	switch {
+	case err != nil:
+		j.finalize(StateFailed, err)
+	case j.cancelled.Load():
+		j.finalize(StateCancelled, nil)
+	default:
+		j.finalize(StateDone, nil)
+	}
+}

@@ -1,0 +1,134 @@
+package service
+
+import (
+	"time"
+
+	"repro/internal/scalefold"
+)
+
+// JobSpec is the wire form of a sweep job: the same axes the `scalefold
+// sweep` subcommand exposes as flags, JSON-encoded for POST /v1/jobs. Empty
+// fields take the DefaultSweepSpec values, so `{}` submits the default
+// 24-cell exploration grid.
+type JobSpec struct {
+	Profile   string   `json:"profile,omitempty"`
+	Arches    []string `json:"arch,omitempty"`
+	Ranks     []int    `json:"ranks,omitempty"`
+	DAPs      []int    `json:"dap,omitempty"`
+	Ablations []string `json:"ablate,omitempty"`
+	Seeds     int      `json:"seeds,omitempty"`
+	Steps     int      `json:"steps,omitempty"`
+	// Workers bounds this job's engine parallelism; the server additionally
+	// bounds total in-flight simulations across all jobs with its shared
+	// pool, so this can only narrow, never widen, the server limit.
+	Workers int `json:"workers,omitempty"`
+}
+
+// withDefaults fills unset axes from the default sweep spec.
+func (js JobSpec) withDefaults() JobSpec {
+	d := scalefold.DefaultSweepSpec()
+	if js.Profile == "" {
+		js.Profile = d.Profile
+	}
+	if len(js.Arches) == 0 {
+		js.Arches = d.Arches
+	}
+	if len(js.Ranks) == 0 {
+		js.Ranks = d.Ranks
+	}
+	if len(js.DAPs) == 0 {
+		js.DAPs = d.DAPs
+	}
+	if len(js.Ablations) == 0 {
+		js.Ablations = d.Ablations
+	}
+	if js.Seeds == 0 {
+		js.Seeds = d.Seeds
+	}
+	return js
+}
+
+// sweepSpec lowers the wire spec to an executable one (axes only — the
+// server fills cache, store, metrics and scheduling hooks).
+func (js JobSpec) sweepSpec() scalefold.SweepSpec {
+	return scalefold.SweepSpec{
+		Profile:   js.Profile,
+		Arches:    js.Arches,
+		Ranks:     js.Ranks,
+		DAPs:      js.DAPs,
+		Ablations: js.Ablations,
+		Seeds:     js.Seeds,
+		Steps:     js.Steps,
+	}
+}
+
+// Job states, in lifecycle order.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateCancelled = "cancelled"
+	StateFailed    = "failed"
+)
+
+// JobStatus is the wire form of a job's current state, returned by the
+// status and listing endpoints and embedded in the submit response.
+type JobStatus struct {
+	ID    string  `json:"id"`
+	State string  `json:"state"`
+	Spec  JobSpec `json:"spec"`
+	// Cells is the full grid size, Done counts settled rows so far
+	// (executed or skipped), Skipped the infeasible rows among them.
+	Cells   int `json:"cells"`
+	Done    int `json:"done"`
+	Skipped int `json:"skipped"`
+	// How the executed cells were satisfied (see scalefold.SweepMetrics).
+	Simulated int64 `json:"simulated"`
+	StoreHits int64 `json:"store_hits"`
+	MemoHits  int64 `json:"memo_hits"`
+
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+
+	// Error is set for failed jobs; StoreErr records the last persistent-
+	// store write failure (the job still completes from memory).
+	Error    string `json:"error,omitempty"`
+	StoreErr string `json:"store_err,omitempty"`
+}
+
+// RowEvent is one NDJSON line of GET /v1/jobs/{id}/stream: a settled sweep
+// row. Index is the grid-order row index; Data maps the canonical result-
+// table header (scalefold.SweepTable) to the cell's formatted values, so a
+// row's bytes are a function of the scenario alone — byte-identical whether
+// the cell was simulated, memoized or served from the persistent store.
+type RowEvent struct {
+	Type   string            `json:"type"` // "row"
+	Index  int               `json:"index"`
+	Status string            `json:"status"`         // "ok" or "skipped"
+	Skip   string            `json:"skip,omitempty"` // reason, for skipped rows
+	Data   map[string]string `json:"data"`
+}
+
+// DoneEvent is the final NDJSON line of a job stream.
+type DoneEvent struct {
+	Type      string `json:"type"` // "done"
+	State     string `json:"state"`
+	Rows      int    `json:"rows"`
+	Skipped   int    `json:"skipped"`
+	Simulated int64  `json:"simulated"`
+	StoreHits int64  `json:"store_hits"`
+	MemoHits  int64  `json:"memo_hits"`
+	Error     string `json:"error,omitempty"`
+}
+
+// StoreStatus is the wire form of GET /v1/store.
+type StoreStatus struct {
+	Keys int `json:"keys"`
+	// Dir is empty for a memory-only server.
+	Dir string `json:"dir,omitempty"`
+	// Dropped counts unparsable log lines skipped at startup (disk only).
+	Dropped int `json:"dropped,omitempty"`
+	// Simulations counts actual simulator runs in this server process.
+	Simulations int64 `json:"simulations"`
+}

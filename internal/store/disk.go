@@ -1,0 +1,260 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"syscall"
+)
+
+// DefaultSegmentBytes is the segment-rotation threshold of a Disk store.
+const DefaultSegmentBytes = 4 << 20
+
+// record is one log line: a key and its JSON-encoded value.
+type record struct {
+	Key string          `json:"k"`
+	Val json.RawMessage `json:"v"`
+}
+
+// Disk is a disk-persistent Store: an append-only log of JSON-lines segment
+// files (seg-00000001.jsonl, seg-00000002.jsonl, ...) plus an in-memory index
+// rebuilt by replaying every segment at open time. Writes append one line per
+// Put and rotate to a fresh segment past SegmentBytes; reads are index
+// lookups and never touch the disk. Within and across segments the last
+// write for a key wins, so overwrites need no in-place mutation and a
+// crash can at worst lose the final, partially written line — which reload
+// detects and drops (see Dropped).
+//
+// Values round-trip through encoding/json, so R must marshal losslessly
+// (cluster.Result does: every field is an integer count or a nanosecond
+// time.Duration). All methods are safe for concurrent use.
+type Disk[R any] struct {
+	// SegmentBytes is the rotation threshold (default DefaultSegmentBytes).
+	// Set it before the first Put; it is read under the store lock.
+	SegmentBytes int64
+
+	mu      sync.RWMutex
+	dir     string
+	lock    *os.File // flock-held .lock file: one process owns the directory
+	idx     map[string]R
+	seg     *os.File // active segment; nil until the first Put
+	segSize int64
+	segSeq  int  // sequence number of the last segment (existing or active)
+	torn    bool // last write failed: rotate before appending again
+	dropped int
+	closed  bool
+}
+
+// OpenDisk opens (creating if needed) a disk store rooted at dir and replays
+// its segments into the in-memory index. Lines that fail to parse — the torn
+// tail of a crashed process — are skipped and counted, never fatal; a
+// missing directory is created.
+//
+// The directory is single-writer: OpenDisk takes an exclusive flock on
+// dir/.lock (released by Close, or automatically when the process dies), so
+// a second process pointing at the same directory fails fast instead of
+// interleaving segment writes and serving a stale index. To share a live
+// store across processes, submit jobs to the server that holds it.
+func OpenDisk[R any](dir string) (*Disk[R], error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	lock, err := os.OpenFile(filepath.Join(dir, ".lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("store: %s is held by another process (the store is single-writer): %w", dir, err)
+	}
+	d := &Disk[R]{SegmentBytes: DefaultSegmentBytes, dir: dir, lock: lock, idx: map[string]R{}}
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	if err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	sort.Strings(segs) // zero-padded names sort in write order
+	for _, path := range segs {
+		if err := d.replay(path); err != nil {
+			lock.Close()
+			return nil, err
+		}
+	}
+	if n := len(segs); n > 0 {
+		// Resume numbering after the newest existing segment. New writes
+		// always start a fresh segment: the old tail may end in a torn line.
+		fmt.Sscanf(filepath.Base(segs[n-1]), "seg-%d.jsonl", &d.segSeq)
+	}
+	return d, nil
+}
+
+// replay loads one segment file into the index.
+func (d *Disk[R]) replay(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec record
+		var v R
+		if json.Unmarshal(line, &rec) != nil || rec.Key == "" || json.Unmarshal(rec.Val, &v) != nil {
+			d.dropped++
+			continue
+		}
+		d.idx[rec.Key] = v
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("store: reading %s: %w", path, err)
+	}
+	return nil
+}
+
+// Get returns the stored value for key, if any.
+func (d *Disk[R]) Get(key string) (R, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	v, ok := d.idx[key]
+	return v, ok
+}
+
+// Put appends the record to the active segment and updates the index. The
+// write is a single syscall (no userspace buffering), so a settled Put is on
+// the page cache even if the process dies; Sync forces it to the platter.
+func (d *Disk[R]) Put(key string, v R) error {
+	if key == "" {
+		return fmt.Errorf("store: empty key")
+	}
+	val, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	line, err := json.Marshal(record{Key: key, Val: val})
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	line = append(line, '\n')
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if d.seg == nil || d.segSize >= d.SegmentBytes || d.torn {
+		if err := d.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := d.seg.Write(line); err != nil {
+		// A short write may have left a torn, newline-less tail; another
+		// append would glue onto it and corrupt BOTH records on reload.
+		// Rotate before the next write — reload then drops only the torn
+		// line, whose Put already reported failure.
+		d.torn = true
+		return fmt.Errorf("store: %w", err)
+	}
+	d.segSize += int64(len(line))
+	d.idx[key] = v
+	return nil
+}
+
+// rotateLocked closes the active segment and opens the next one.
+func (d *Disk[R]) rotateLocked() error {
+	if d.seg != nil {
+		if err := d.seg.Close(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		d.seg = nil
+	}
+	d.torn = false
+	d.segSeq++
+	path := filepath.Join(d.dir, fmt.Sprintf("seg-%08d.jsonl", d.segSeq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	d.seg, d.segSize = f, 0
+	return nil
+}
+
+// Keys returns every stored key, sorted.
+func (d *Disk[R]) Keys() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	keys := make([]string, 0, len(d.idx))
+	for k := range d.idx {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Len returns the number of stored keys.
+func (d *Disk[R]) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.idx)
+}
+
+// Dropped returns how many unparsable log lines the open-time replay skipped
+// — normally zero; nonzero after a crash tore the final line, or if a
+// segment was corrupted out-of-band.
+func (d *Disk[R]) Dropped() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.dropped
+}
+
+// Dir returns the directory backing the store.
+func (d *Disk[R]) Dir() string { return d.dir }
+
+// Sync forces the active segment to stable storage.
+func (d *Disk[R]) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.seg == nil {
+		return nil
+	}
+	if err := d.seg.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the active segment and releases the directory
+// lock. The index stays readable; Put fails after Close.
+func (d *Disk[R]) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	var err error
+	if d.seg != nil {
+		err = d.seg.Sync()
+		if cerr := d.seg.Close(); err == nil {
+			err = cerr
+		}
+		d.seg = nil
+	}
+	if d.lock != nil {
+		if cerr := d.lock.Close(); err == nil {
+			err = cerr
+		}
+		d.lock = nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}

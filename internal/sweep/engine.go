@@ -40,6 +40,12 @@ type Engine[C, R any] struct {
 	Cache *Cache[R]
 	// OnProgress, when non-nil, streams one event per completed cell.
 	OnProgress func(Progress)
+	// OnResult, when non-nil, receives each cell's index and result as the
+	// cell completes. Calls arrive in completion order (not cell order) but
+	// are serialized with each other and with OnProgress; for a given cell,
+	// OnResult fires immediately before its OnProgress event. cached matches
+	// Progress.Cached.
+	OnResult func(i int, r R, cached bool)
 }
 
 // Run executes every cell and returns the results in cell order — the order
@@ -58,16 +64,21 @@ func (e Engine[C, R]) Run(cells []Cell[C], run func(C) R) []R {
 	var progressMu sync.Mutex
 	done := 0
 	report := func(i int, cached bool, elapsed time.Duration) {
-		if e.OnProgress == nil {
+		if e.OnProgress == nil && e.OnResult == nil {
 			return
 		}
 		progressMu.Lock()
 		done++
-		e.OnProgress(Progress{
-			Done: done, Total: len(cells),
-			Key: cells[i].Key, Label: cells[i].Label,
-			Cached: cached, Elapsed: elapsed,
-		})
+		if e.OnResult != nil {
+			e.OnResult(i, results[i], cached)
+		}
+		if e.OnProgress != nil {
+			e.OnProgress(Progress{
+				Done: done, Total: len(cells),
+				Key: cells[i].Key, Label: cells[i].Label,
+				Cached: cached, Elapsed: elapsed,
+			})
+		}
 		progressMu.Unlock()
 	}
 	exec := func(i int) {

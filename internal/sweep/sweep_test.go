@@ -3,6 +3,7 @@ package sweep
 import (
 	"bytes"
 	"fmt"
+	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -221,6 +222,111 @@ func TestEmitters(t *testing.T) {
 	bad := Table{Header: []string{"a"}, Rows: [][]string{{"1", "2"}}}
 	if bad.WriteCSV(&bytes.Buffer{}) == nil || bad.WriteJSON(&bytes.Buffer{}) == nil {
 		t.Fatal("mismatched row must error")
+	}
+}
+
+func TestCacheKeysAndSnapshotSortedSettledOnly(t *testing.T) {
+	cache := NewCache[int]()
+	for i, k := range []string{"zulu", "alpha", "mike"} {
+		cache.Do(k, func() int { return i * 10 })
+	}
+	// An in-flight entry must appear in neither Keys nor Snapshot: its value
+	// cannot be read yet. Park a computation on a channel to pin it.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go cache.Do("inflight", func() int { close(started); <-release; return 99 })
+	<-started
+
+	wantKeys := []string{"alpha", "mike", "zulu"}
+	if got := cache.Keys(); !reflect.DeepEqual(got, wantKeys) {
+		t.Fatalf("Keys = %v, want %v (sorted, settled only)", got, wantKeys)
+	}
+	snap := cache.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("Snapshot has %d entries, want 3", len(snap))
+	}
+	want := map[string]int{"zulu": 0, "alpha": 10, "mike": 20}
+	for i, e := range snap {
+		if e.Key != wantKeys[i] || e.Value != want[e.Key] {
+			t.Fatalf("Snapshot[%d] = %+v, want key %q value %d", i, e, wantKeys[i], want[wantKeys[i]])
+		}
+	}
+	if cache.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 (in-flight entries count)", cache.Len())
+	}
+
+	close(release)
+	// The computing goroutine settles the entry; wait for it via Do (which
+	// blocks on the in-flight singleflight).
+	if v, hit := cache.Do("inflight", func() int { return -1 }); v != 99 || !hit {
+		t.Fatalf("Do(inflight) = %d, %t", v, hit)
+	}
+	if got := cache.Keys(); len(got) != 4 || got[1] != "inflight" {
+		t.Fatalf("settled entry must join Keys: %v", got)
+	}
+}
+
+func TestEngineOnResultStreamsEveryCell(t *testing.T) {
+	cache := NewCache[int]()
+	cells := []Cell[int]{
+		{Key: "a", Config: 1},
+		{Key: "shared", Config: 2},
+		{Key: "shared", Config: 2},
+		{Key: "b", Config: 3},
+	}
+	got := map[int]int{}
+	var cachedCount int
+	eng := Engine[int, int]{
+		Workers: 4,
+		Cache:   cache,
+		OnResult: func(i int, r int, cached bool) {
+			if _, dup := got[i]; dup {
+				t.Errorf("cell %d reported twice", i)
+			}
+			got[i] = r
+			if cached {
+				cachedCount++
+			}
+		},
+	}
+	res := eng.Run(cells, func(v int) int { return v * 10 })
+	if len(got) != len(cells) {
+		t.Fatalf("OnResult fired for %d cells, want %d", len(got), len(cells))
+	}
+	for i, r := range res {
+		if got[i] != r {
+			t.Fatalf("OnResult cell %d = %d, Run returned %d", i, got[i], r)
+		}
+	}
+	if cachedCount != 1 {
+		t.Fatalf("%d cached OnResult events, want 1 (the repeated key)", cachedCount)
+	}
+}
+
+// Satellite regression cover: a row whose width disagrees with the header
+// must fail both emitters with a precise diagnostic — wherever in the table
+// it sits — and never emit a malformed document silently.
+func TestTableRowLengthMismatchErrors(t *testing.T) {
+	tab := Table{Header: []string{"a", "b"}}
+	tab.Append("1", "2")
+	tab.Append("3") // too short, after a valid row
+	tab.Append("4", "5")
+	wantMsg := "row has 1 fields, header has 2"
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err == nil || !strings.Contains(err.Error(), wantMsg) {
+		t.Fatalf("WriteCSV error = %v, want %q", tab.WriteCSV(&bytes.Buffer{}), wantMsg)
+	}
+	buf.Reset()
+	if err := tab.WriteJSON(&buf); err == nil || !strings.Contains(err.Error(), wantMsg) {
+		t.Fatalf("WriteJSON error = %v, want %q", tab.WriteJSON(&bytes.Buffer{}), wantMsg)
+	}
+	long := Table{Header: []string{"a"}, Rows: [][]string{{"1", "2", "3"}}}
+	wantLong := "row has 3 fields, header has 1"
+	if err := long.WriteCSV(&bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), wantLong) {
+		t.Fatalf("WriteCSV long-row error = %v", err)
+	}
+	if err := long.WriteJSON(&bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), wantLong) {
+		t.Fatalf("WriteJSON long-row error = %v", err)
 	}
 }
 
