@@ -18,7 +18,6 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/dataset"
-	"repro/internal/gpu"
 	"repro/internal/kernels"
 	"repro/internal/model"
 	"repro/internal/pipeline"
@@ -349,12 +348,15 @@ func sweepBenchSpec(workers int) scalefold.SweepSpec {
 	s.Steps = 2
 	s.Workers = workers
 	s.Cache = sweep.NewCache[cluster.Result]()
+	s.Metrics = &scalefold.SweepMetrics{}
 	return s
 }
 
-// benchSweep runs one full sweep and returns its CSV bytes.
-func benchSweep(b *testing.B, workers int) []byte {
-	rows, err := sweepBenchSpec(workers).Run(nil)
+// benchSweep runs one full sweep and returns its CSV bytes plus the cell-
+// satisfaction metrics.
+func benchSweep(b *testing.B, workers int) ([]byte, *scalefold.SweepMetrics) {
+	s := sweepBenchSpec(workers)
+	rows, err := s.Run(nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -362,30 +364,52 @@ func benchSweep(b *testing.B, workers int) []byte {
 	if err := scalefold.SweepTable(rows).WriteCSV(&buf); err != nil {
 		b.Fatal(err)
 	}
-	return buf.Bytes()
+	return buf.Bytes(), s.Metrics
 }
 
-// BenchmarkSweep24Cells measures sweep throughput per worker count. Compare
+// BenchmarkSweep24Cells measures sweep throughput per worker count — the
+// perf-trajectory record CI uploads as BENCH_sweep.json. Reported metrics:
+// cells/s and steps/s (simulation throughput), plus the memo hit rate of a
+// second, cache-warm pass over the same grid (memo-hit-%: 100 means every
+// cell was satisfied by the in-memory memo without re-simulation). Compare
 // the workers=1 and workers=8 timings for the parallel speedup (bounded by
 // the host's core count: on >= 8 cores the 24-cell grid completes several
 // times faster with 8 workers; on a single core the pool degenerates to the
 // serial path). Byte-identical output across worker counts is asserted on
 // every iteration.
 func BenchmarkSweep24Cells(b *testing.B) {
-	want := benchSweep(b, 1)
+	want, _ := benchSweep(b, 1)
+	const cells, stepsPerCell = 24, 2
 	for _, workers := range []int{1, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			var cells float64
 			for i := 0; i < b.N; i++ {
-				got := benchSweep(b, workers)
+				got, _ := benchSweep(b, workers)
 				if !bytes.Equal(got, want) {
 					b.Fatalf("workers=%d produced different CSV than workers=1", workers)
 				}
-				cells = 24
 			}
-			b.ReportMetric(cells*float64(b.N)*float64(time.Second)/float64(b.Elapsed()), "cells/s")
+			perSec := float64(b.N) * float64(time.Second) / float64(b.Elapsed())
+			b.ReportMetric(cells*perSec, "cells/s")
+			b.ReportMetric(cells*stepsPerCell*perSec, "steps/s")
 		})
 	}
+	b.Run("memo-warm", func(b *testing.B) {
+		var hitRate float64
+		for i := 0; i < b.N; i++ {
+			s := sweepBenchSpec(4)
+			if _, err := s.Run(nil); err != nil {
+				b.Fatal(err)
+			}
+			s.Metrics = &scalefold.SweepMetrics{} // count the warm pass alone
+			if _, err := s.Run(nil); err != nil {
+				b.Fatal(err)
+			}
+			hits := s.Metrics.MemoHits.Load()
+			total := hits + s.Metrics.Simulated.Load() + s.Metrics.StoreHits.Load()
+			hitRate = 100 * float64(hits) / float64(total)
+		}
+		b.ReportMetric(hitRate, "memo-hit-%")
+	})
 }
 
 // ---------- Cluster simulator throughput ----------
@@ -396,10 +420,10 @@ func BenchmarkClusterSimulateDAP8(b *testing.B) {
 		// The seed varies per iteration; reset so the process-wide memo
 		// cache doesn't grow linearly with b.N.
 		scalefold.ResetStepCache()
-		c := scalefold.Figure7Config(gpu.H100(), 128, 8)
+		c := scalefold.Figure7Config("H100", 128, 8)
 		_ = c
 		_ = prog
-		cfg := scalefold.Figure7Config(gpu.H100(), 256, 8)
+		cfg := scalefold.Figure7Config("H100", 256, 8)
 		cfg.Steps = 2
 		cfg.Seed = int64(i + 1)
 		_ = cfg.StepSeconds()

@@ -33,6 +33,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,6 +41,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/pipeline"
 	"repro/internal/scalefold"
+	"repro/internal/scenario"
 	"repro/internal/service"
 	"repro/internal/store"
 	"repro/internal/sweep"
@@ -144,28 +146,67 @@ func parseIntList(flagName, s string) []int {
 
 // axisFlags registers the scenario-axis flags shared by `sweep` (local
 // execution) and `submit` (remote execution), so the two subcommands cannot
-// drift apart.
+// drift apart. Flags parse into canonical Scenarios: either through the
+// grid axes, or verbatim via `-scenarios` (a JSON file of explicit
+// scenario.Scenario descriptors, which supersedes the axis flags).
 type axisFlags struct {
 	arch, ranks, dap, ablate *string
-	profile                  *string
+	profile, scenarios       *string
 	seeds, steps, workers    *int
 }
 
 func addAxisFlags(fs *flag.FlagSet) *axisFlags {
 	return &axisFlags{
-		arch:  fs.String("arch", "H100", "comma-separated GPU architectures (A100, H100)"),
+		arch: fs.String("arch", "H100",
+			"comma-separated platform profiles ("+strings.Join(scenario.PlatformNames(), ", ")+")"),
 		ranks: fs.String("ranks", "256", "comma-separated GPU counts"),
 		dap:   fs.String("dap", "1,2,4,8", "comma-separated DAP widths"),
 		ablate: fs.String("ablate", "none,zero-launch,perfect-balance,zero-serial,flat-efficiency,zero-comm",
 			"comma-separated barrier ablations"),
 		seeds:   fs.Int("seeds", 1, "seed replicas per scenario"),
 		profile: fs.String("profile", "scalefold", "base config: scalefold, baseline or fastfold"),
+		scenarios: fs.String("scenarios", "",
+			`JSON file of explicit scenario descriptors ("-" = stdin); supersedes the axis flags`),
 		steps:   fs.Int("steps", 0, "simulated steps per cell (0 = simulator default)"),
 		workers: fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS / server pool)"),
 	}
 }
 
-func (a *axisFlags) jobSpec() service.JobSpec {
+// scenarioList loads and validates the explicit-scenario file, if any.
+func (a *axisFlags) scenarioList(cmd string) []scenario.Scenario {
+	if *a.scenarios == "" {
+		return nil
+	}
+	var data []byte
+	var err error
+	if *a.scenarios == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(*a.scenarios)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", cmd, err)
+		os.Exit(2)
+	}
+	list, err := scenario.ParseJSONList(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", cmd, err)
+		os.Exit(2)
+	}
+	for i, sc := range list {
+		if err := sc.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: scenarios[%d]: %v\n", cmd, i, err)
+			os.Exit(2)
+		}
+	}
+	if len(list) == 0 {
+		fmt.Fprintf(os.Stderr, "%s: %s holds no scenarios\n", cmd, *a.scenarios)
+		os.Exit(2)
+	}
+	return list
+}
+
+func (a *axisFlags) jobSpec(cmd string) service.JobSpec {
 	return service.JobSpec{
 		Profile:   *a.profile,
 		Arches:    sweep.ParseList(*a.arch),
@@ -175,10 +216,11 @@ func (a *axisFlags) jobSpec() service.JobSpec {
 		Seeds:     *a.seeds,
 		Steps:     *a.steps,
 		Workers:   *a.workers,
+		Scenarios: a.scenarioList(cmd),
 	}
 }
 
-func (a *axisFlags) sweepSpec() scalefold.SweepSpec {
+func (a *axisFlags) sweepSpec(cmd string) scalefold.SweepSpec {
 	return scalefold.SweepSpec{
 		Profile:   *a.profile,
 		Arches:    sweep.ParseList(*a.arch),
@@ -188,6 +230,7 @@ func (a *axisFlags) sweepSpec() scalefold.SweepSpec {
 		Seeds:     *a.seeds,
 		Steps:     *a.steps,
 		Workers:   *a.workers,
+		Scenarios: a.scenarioList(cmd),
 	}
 }
 
@@ -206,7 +249,7 @@ future sweeps, jobs and figure runs`)
 		os.Exit(2)
 	}
 
-	spec := axes.sweepSpec()
+	spec := axes.sweepSpec("sweep")
 	if *storeDir != "" {
 		ds, err := store.OpenDisk[cluster.Result](*storeDir)
 		if err != nil {
@@ -325,7 +368,7 @@ func submitCmd(args []string) {
 	fs.Parse(args)
 
 	client := &service.Client{Base: *server}
-	st, err := client.Submit(axes.jobSpec())
+	st, err := client.Submit(axes.jobSpec("submit"))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "submit: %v\n", err)
 		os.Exit(2)

@@ -9,7 +9,6 @@ import (
 	"fmt"
 
 	"repro/internal/dap"
-	"repro/internal/gpu"
 	"repro/internal/scalefold"
 )
 
@@ -21,10 +20,10 @@ func main() {
 
 	fmt.Println("-- naive DAP on the unoptimized baseline (§3.1) --")
 	fmt.Printf("%-8s %10s %10s\n", "degree", "step (s)", "speedup")
-	base := scalefold.ReferenceConfig(gpu.H100(), 128).StepSeconds()
+	base := scalefold.ReferenceConfig("H100", 128).StepSeconds()
 	fmt.Printf("%-8s %10.2f %9.2fx\n", "DAP-1", base, 1.0)
 	for _, d := range []int{2, 4, 8} {
-		c := scalefold.FastFoldConfig(gpu.H100(), 128*d, d)
+		c := scalefold.FastFoldConfig("H100", 128*d, d)
 		c.Census.FusedMHA = false // pure baseline + DAP
 		c.Census.FusedLN = false
 		c.Census.GradCheckpoint = true
@@ -38,7 +37,7 @@ func main() {
 	fmt.Printf("%-8s %10s %10s %14s %14s %12s\n", "degree", "step (s)", "speedup", "GPU compute", "CPU exposed", "comm+wait")
 	var sfBase float64
 	for i, d := range []int{1, 2, 4, 8} {
-		c := scalefold.Figure7Config(gpu.H100(), 128*d, d)
+		c := scalefold.Figure7Config("H100", 128*d, d)
 		r := c.Run()
 		s := r.MedianStep.Seconds()
 		if i == 0 {

@@ -9,7 +9,6 @@ import (
 
 	ag "repro/internal/autograd"
 	"repro/internal/dataset"
-	"repro/internal/gpu"
 	"repro/internal/model"
 	"repro/internal/scalefold"
 	"repro/internal/train"
@@ -43,8 +42,8 @@ func main() {
 
 	fmt.Println()
 	fmt.Println("== Part 2: ScaleFold step time on the simulated cluster ==")
-	ref := scalefold.ReferenceConfig(gpu.A100(), 128)
-	sf := scalefold.Figure7Config(gpu.H100(), 1024, 8)
+	ref := scalefold.ReferenceConfig("A100", 128)
+	sf := scalefold.Figure7Config("H100", 1024, 8)
 	refS, sfS := ref.StepSeconds(), sf.StepSeconds()
 	fmt.Printf("OpenFold reference (A100x128): %.2f s/step (paper: 6.19 s)\n", refS)
 	fmt.Printf("ScaleFold (H100x1024, DAP-8):  %.2f s/step (paper: 0.65 s)\n", sfS)

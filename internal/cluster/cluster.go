@@ -8,7 +8,7 @@
 package cluster
 
 import (
-	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"time"
@@ -70,21 +70,6 @@ func (o Options) normalized() Options {
 		o.Prefetch = 32
 	}
 	return o
-}
-
-// Fingerprint returns a canonical, deterministic serialization of every
-// Simulate input for the given cluster geometry: the scenario identity used
-// as a memoization key by the sweep engine. Two calls with equal
-// fingerprints (and the same kernel census) produce identical Results —
-// Simulate draws all randomness from the seeded sources listed here.
-func (o Options) Fingerprint(ranks, dapDegree int) string {
-	o = o.normalized()
-	return fmt.Sprintf(
-		"ranks=%d|dap=%d|arch=%+v|topo=%+v|cpu=%+v|graph=%t|nonblock=%t|workers=%d|prefetch=%d|prep=%+v|seed=%d|steps=%d|ablate=%t%t%t%t%t",
-		ranks, dapDegree, o.Arch, o.Topo, o.CPU, o.CUDAGraph,
-		o.NonBlockingPipeline, o.Workers, o.Prefetch, o.PrepModel, o.Seed,
-		o.Steps, o.ZeroLaunchOverhead, o.PerfectBalance, o.ZeroSerial,
-		o.FlatEfficiency, o.ZeroCommVolume)
 }
 
 // DefaultOptions returns a production-like H100 setup.
@@ -249,7 +234,7 @@ func Simulate(prog *workload.Program, ranks, dapDegree int, o Options) Result {
 	if o.CUDAGraph {
 		perKernelCV = 0.12
 	}
-	chunkCV := perKernelCV / sqrtF(kernelsPerChunk)
+	chunkCV := perKernelCV / math.Sqrt(kernelsPerChunk)
 	stragglerProb := o.CPU.StragglerProb
 	if o.CUDAGraph {
 		stragglerProb /= 15
@@ -402,17 +387,6 @@ func Simulate(prog *workload.Program, ranks, dapDegree int, o Options) Result {
 		Plan:         plan,
 		GraphCapture: graphCapture,
 	}
-}
-
-func sqrtF(x float64) float64 {
-	if x <= 0 {
-		return 0
-	}
-	z := x
-	for i := 0; i < 24; i++ {
-		z = (z + x/z) / 2
-	}
-	return z
 }
 
 // gcCost is the per-step host stall from Python garbage collection: the

@@ -33,6 +33,20 @@ func Eos() Topology {
 	}
 }
 
+// Selene returns the topology of an NVIDIA Selene-like A100 SuperPOD:
+// 8×A100 NVLink3 nodes on HDR InfiniBand — the previous-generation fabric,
+// with roughly half the inter-node bandwidth of Eos. The scenario registry
+// exposes it as the "a100-selene" platform.
+func Selene() Topology {
+	return Topology{
+		IntraBW:     300e9,
+		InterBW:     25e9,
+		IntraLat:    5 * time.Microsecond,
+		InterLat:    15 * time.Microsecond,
+		GPUsPerNode: 8,
+	}
+}
+
 // linkFor returns the effective bandwidth and latency for a group of n
 // ranks: groups within one node ride NVLink; larger groups are limited by
 // the inter-node fabric.

@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"repro/internal/curve"
-	"repro/internal/gpu"
 	"repro/internal/mlperf"
 	"repro/internal/workload"
 )
@@ -21,13 +20,13 @@ type Fig9Bar struct {
 // refMLPerfStep returns the reference step time at the MLPerf scale
 // (256 H100, global batch 256 — one sample per rank, no DAP).
 func refMLPerfStep() time.Duration {
-	return ReferenceConfig(gpu.H100(), 256).Run().MeanStep
+	return ReferenceConfig("H100", 256).Run().MeanStep
 }
 
 // scaleFoldMLPerfStep returns the fully-optimized step time at 2048 H100
 // with DAP-8 (the ladder's final configuration).
 func scaleFoldMLPerfStep() time.Duration {
-	c := Figure7Config(gpu.H100(), 2048, 8)
+	c := Figure7Config("H100", 2048, 8)
 	c.Census.TorchCompile = true
 	c.DisableGC = true
 	return c.Run().MeanStep
@@ -73,12 +72,12 @@ func Figure10() []mlperf.Fig10Row {
 // GPUs; phase 2 runs global batch 256 on 2048 training GPUs with the Triton
 // MHA kernel disabled (§4.2).
 func Figure11() (curve.Schedule, curve.Result) {
-	p1 := Figure7Config(gpu.H100(), 1024, 8)
+	p1 := Figure7Config("H100", 1024, 8)
 	p1.Census.TorchCompile = true
 	p1.DisableGC = true
 	step128 := p1.Run().MedianStep
 
-	p2 := Figure7Config(gpu.H100(), 2048, 8)
+	p2 := Figure7Config("H100", 2048, 8)
 	p2.Census.TorchCompile = true
 	p2.DisableGC = true
 	p2.Census.FusedMHA = false // "disable Triton mha kernel" for GBS 256

@@ -22,91 +22,37 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/gpu"
 	"repro/internal/model"
+	"repro/internal/scenario"
 	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
-// StepConfig describes one training configuration to cost.
+// StepConfig is one training configuration to cost: a canonical
+// scenario.Scenario plus a display name. Identity — validation, lowering to
+// cluster.Options, the versioned fingerprint that keys the memo and the
+// persistent store — lives entirely on the embedded Scenario; this wrapper
+// only adds the figure-label conveniences the experiment runners want.
 type StepConfig struct {
-	Name  string
-	Arch  gpu.Arch
-	Ranks int
-	DAP   int
-
-	Census workload.Options
-
-	CUDAGraph   bool
-	NonBlocking bool
-	DisableGC   bool
-
-	// Ablation idealizes one scalability barrier (the Figure 3 switches in
-	// cluster.Options); see Ablations for the recognized names.
-	Ablation string
-	// Prefetch overrides the dataloader prefetch depth (0 = simulator
-	// default). Figure 3's profiled measurement runs read far ahead.
-	Prefetch int
-
-	Seed  int64
-	Steps int
+	Name string
+	scenario.Scenario
 }
 
-// Ablations lists the recognized StepConfig.Ablation values: "none" plus one
-// name per Figure 3 barrier-idealization switch.
-var Ablations = []string{
-	"none",            // measured configuration, nothing idealized
-	"zero-launch",     // CPU launch overhead eliminated
-	"perfect-balance", // ranks synchronized before every collective
-	"zero-serial",     // serial modules parallelized away
-	"flat-efficiency", // kernels keep full efficiency at any size
-	"zero-comm",       // DAP collective payloads are free
-}
-
-func applyAblation(o *cluster.Options, name string) {
-	switch name {
-	case "", "none":
-	case "zero-launch":
-		o.ZeroLaunchOverhead = true
-	case "perfect-balance":
-		o.PerfectBalance = true
-	case "zero-serial":
-		o.ZeroSerial = true
-	case "flat-efficiency":
-		o.FlatEfficiency = true
-	case "zero-comm":
-		o.ZeroCommVolume = true
-	default:
-		panic(fmt.Sprintf("scalefold: unknown ablation %q (want one of %v)", name, Ablations))
-	}
-}
+// Ablations lists the recognized ablation values ("none" plus the Figure 3
+// barrier switches); it aliases the scenario layer's canonical list.
+var Ablations = scenario.Ablations
 
 func fullModelConfig() model.Config { return model.FullConfig() }
 
-// clusterOptions lowers the step configuration to simulator options.
+// clusterOptions lowers the step configuration to simulator options. The
+// scenario is validated by every user-input path (CLI flags, sweep grids,
+// job submission) before it gets here, so a failure is a programming error.
 func (c StepConfig) clusterOptions() cluster.Options {
-	o := cluster.DefaultOptions(c.Seed)
-	o.Arch = c.Arch
-	o.CUDAGraph = c.CUDAGraph
-	o.NonBlockingPipeline = c.NonBlocking
-	if c.DisableGC {
-		o.CPU.GCEnabled = false
+	o, err := c.Options()
+	if err != nil {
+		panic("scalefold: unvalidated scenario reached the simulator: " + err.Error())
 	}
-	if c.Steps > 0 {
-		o.Steps = c.Steps
-	}
-	if c.Prefetch > 0 {
-		o.Prefetch = c.Prefetch
-	}
-	applyAblation(&o, c.Ablation)
 	return o
-}
-
-// Fingerprint returns the canonical scenario identity of the configuration:
-// the kernel-census options plus every cluster.Simulate input. Configurations
-// with equal fingerprints simulate identically; the Name is display-only and
-// deliberately excluded.
-func (c StepConfig) Fingerprint() string {
-	return fmt.Sprintf("census{%+v}|%s", c.Census, c.clusterOptions().Fingerprint(c.Ranks, c.DAP))
 }
 
 // stepCache memoizes simulation results process-wide by scenario
@@ -170,7 +116,7 @@ func processStore() (store.Store[cluster.Result], func(error)) {
 var censusCache = sweep.NewCache[*workload.Program]()
 
 func censusFor(cen workload.Options) *workload.Program {
-	prog, _ := censusCache.Do(fmt.Sprintf("%+v", cen), func() *workload.Program {
+	prog, _ := censusCache.Do(scenario.CanonicalCensus(cen), func() *workload.Program {
 		return workload.Census(fullModelConfig(), cen)
 	})
 	return prog
@@ -248,13 +194,25 @@ func runConfigs(workers int, cfgs []StepConfig) []cluster.Result {
 	})
 }
 
-// ReferenceConfig is the unoptimized OpenFold baseline on `ranks` GPUs.
-func ReferenceConfig(arch gpu.Arch, ranks int) StepConfig {
+// platformLabel returns the GPU architecture name of a platform for figure
+// labels ("H100" for "h100-eos"), falling back to the raw reference.
+func platformLabel(platform string) string {
+	if p, err := scenario.PlatformByName(platform); err == nil {
+		return p.Arch.Name
+	}
+	return platform
+}
+
+// ReferenceConfig is the unoptimized OpenFold baseline on `ranks` GPUs of
+// the named platform ("A100", "h100-eos", ... — see the scenario registry).
+func ReferenceConfig(platform string, ranks int) StepConfig {
 	return StepConfig{
-		Name: "OpenFold reference (" + arch.Name + ")",
-		Arch: arch, Ranks: ranks, DAP: 1,
-		Census: workload.Baseline(),
-		Seed:   1,
+		Name: "OpenFold reference (" + platformLabel(platform) + ")",
+		Scenario: scenario.Scenario{
+			Platform: platform, Ranks: ranks, DAP: 1,
+			Census: workload.Baseline(),
+			Seed:   1,
+		},
 	}
 }
 
@@ -264,7 +222,7 @@ func ReferenceConfig(arch gpu.Arch, ranks int) StepConfig {
 // than the Figure 7 step-time measurements, and CUDA Graph pays off only for
 // DAP >= 2 ("CudaGraph is not beneficial for DAP-1", §4.1), so those are
 // excluded/conditional here.
-func Figure7Config(arch gpu.Arch, ranks, dapN int) StepConfig {
+func Figure7Config(platform string, ranks, dapN int) StepConfig {
 	cen := workload.Options{
 		FusedMHA: true, FusedLN: true, FusedAdamSWA: true,
 		BatchedGEMM: true, BF16: true, BucketedClip: true,
@@ -273,28 +231,32 @@ func Figure7Config(arch gpu.Arch, ranks, dapN int) StepConfig {
 		DAP:            dapN,
 	}
 	return StepConfig{
-		Name: "ScaleFold (" + arch.Name + ")",
-		Arch: arch, Ranks: ranks, DAP: dapN,
-		Census:      cen,
-		CUDAGraph:   dapN > 1,
-		NonBlocking: true,
-		Seed:        1,
+		Name: "ScaleFold (" + platformLabel(platform) + ")",
+		Scenario: scenario.Scenario{
+			Platform: platform, Ranks: ranks, DAP: dapN,
+			Census:      cen,
+			CUDAGraph:   dapN > 1,
+			NonBlocking: true,
+			Seed:        1,
+		},
 	}
 }
 
 // FastFoldConfig approximates FastFold: baseline kernels plus DAP (its DAP
 // contribution) with checkpointing still on and the stock dataloader.
-func FastFoldConfig(arch gpu.Arch, ranks, dapN int) StepConfig {
+func FastFoldConfig(platform string, ranks, dapN int) StepConfig {
 	cen := workload.Baseline()
 	cen.DAP = dapN
 	cen.FusedMHA = true // FastFold ships its own fused attention kernels
 	cen.FusedLN = true
 	cen.GradCheckpoint = dapN <= 1
 	return StepConfig{
-		Name: "FastFold (" + arch.Name + ")",
-		Arch: arch, Ranks: ranks, DAP: dapN,
-		Census: cen,
-		Seed:   1,
+		Name: "FastFold (" + platformLabel(platform) + ")",
+		Scenario: scenario.Scenario{
+			Platform: platform, Ranks: ranks, DAP: dapN,
+			Census: cen,
+			Seed:   1,
+		},
 	}
 }
 
@@ -310,14 +272,14 @@ type Fig7Row struct {
 // (system, arch, ranks, DAP) bar of the paper's plot.
 func figure7Rows() []Fig7Row {
 	return []Fig7Row{
-		{Label: "OpenFold (A100x128, NoDAP)", Paper: 6.19, Config: ReferenceConfig(gpu.A100(), 128)},
-		{Label: "FastFold (A100x256, DAP2)", Paper: 2.49, Config: FastFoldConfig(gpu.A100(), 256, 2)},
-		{Label: "ScaleFold (A100x256, DAP2)", Paper: 1.88, Config: Figure7Config(gpu.A100(), 256, 2)},
-		{Label: "ScaleFold (H100x128, NoDAP)", Paper: 1.80, Config: Figure7Config(gpu.H100(), 128, 1)},
-		{Label: "ScaleFold (H100x256, DAP2)", Paper: 1.12, Config: Figure7Config(gpu.H100(), 256, 2)},
-		{Label: "ScaleFold (H100x512, DAP4)", Paper: 0.75, Config: Figure7Config(gpu.H100(), 512, 4)},
-		{Label: "ScaleFold (H100x1024, DAP8)", Paper: 0.65, Config: Figure7Config(gpu.H100(), 1024, 8)},
-		{Label: "ScaleFold (A100x1024, DAP8)", Paper: 1.21, Config: Figure7Config(gpu.A100(), 1024, 8)},
+		{Label: "OpenFold (A100x128, NoDAP)", Paper: 6.19, Config: ReferenceConfig("A100", 128)},
+		{Label: "FastFold (A100x256, DAP2)", Paper: 2.49, Config: FastFoldConfig("A100", 256, 2)},
+		{Label: "ScaleFold (A100x256, DAP2)", Paper: 1.88, Config: Figure7Config("A100", 256, 2)},
+		{Label: "ScaleFold (H100x128, NoDAP)", Paper: 1.80, Config: Figure7Config("H100", 128, 1)},
+		{Label: "ScaleFold (H100x256, DAP2)", Paper: 1.12, Config: Figure7Config("H100", 256, 2)},
+		{Label: "ScaleFold (H100x512, DAP4)", Paper: 0.75, Config: Figure7Config("H100", 512, 4)},
+		{Label: "ScaleFold (H100x1024, DAP8)", Paper: 0.65, Config: Figure7Config("H100", 1024, 8)},
+		{Label: "ScaleFold (A100x1024, DAP8)", Paper: 1.21, Config: Figure7Config("A100", 1024, 8)},
 	}
 }
 
@@ -379,9 +341,9 @@ var ladderRungs = []struct {
 func Ladder() []Rung {
 	rungs := make([]Rung, len(ladderRungs))
 	cfgs := make([]StepConfig, len(ladderRungs))
-	cum := ReferenceConfig(gpu.H100(), 128)
+	cum := ReferenceConfig("H100", 128)
 	for i, r := range ladderRungs {
-		c := ReferenceConfig(gpu.A100(), 128)
+		c := ReferenceConfig("A100", 128)
 		if r.Apply != nil {
 			r.Apply(&cum)
 			c = cum
@@ -417,10 +379,12 @@ func figure3Config(dapN int) StepConfig {
 	cen.GradCheckpoint = false // §3.1 measures DAP runs with ckpt freed
 	return StepConfig{
 		Name: fmt.Sprintf("Figure 3 (DAP-%d)", dapN),
-		Arch: gpu.A100(), Ranks: 128 * dapN, DAP: dapN,
-		Census:   cen,
-		Seed:     3,
-		Prefetch: 128,
+		Scenario: scenario.Scenario{
+			Platform: "A100", Ranks: 128 * dapN, DAP: dapN,
+			Census:   cen,
+			Seed:     3,
+			Prefetch: 128,
+		},
 	}
 }
 
@@ -439,14 +403,19 @@ func figure3Bars(dapN int, res cluster.Result) []Barrier {
 	cen1 := c.Census
 	cen1.DAP = 1
 	prog1 := censusFor(cen1)
+	platform, err := scenario.PlatformByName(c.Platform)
+	if err != nil {
+		panic("scalefold: unvalidated scenario reached the simulator: " + err.Error())
+	}
+	arch := platform.Arch
 	var kernelGap time.Duration
 	for i, g := range prog.Groups {
 		if g.Serial {
 			continue
 		}
 		g1 := prog1.Groups[i]
-		actual := time.Duration(g.Calls) * c.Arch.KernelDuration(g.PerCallFlops(), g.PerCallBytes(), false)
-		ideal := time.Duration(g1.Calls) * c.Arch.KernelDuration(g1.PerCallFlops(), g1.PerCallBytes(), false) / time.Duration(dapN)
+		actual := time.Duration(g.Calls) * arch.KernelDuration(g.PerCallFlops(), g.PerCallBytes(), false)
+		ideal := time.Duration(g1.Calls) * arch.KernelDuration(g1.PerCallFlops(), g1.PerCallBytes(), false) / time.Duration(dapN)
 		if actual > ideal {
 			kernelGap += actual - ideal
 		}
@@ -500,11 +469,13 @@ func Figure3All() map[int][]Barrier {
 // DAP to the unoptimized training yields only 1.42×/1.57×/≈1.57× at
 // DAP-2/4/8. Returned values are speedups over the DAP-1 baseline.
 func BaselineDAPSpeedups() map[int]float64 {
-	cfgs := []StepConfig{ReferenceConfig(gpu.A100(), 128)}
+	cfgs := []StepConfig{ReferenceConfig("A100", 128)}
 	for _, d := range []int{2, 4, 8} {
 		cen := workload.Baseline()
 		cen.DAP = d
-		cfgs = append(cfgs, StepConfig{Name: "baseline+DAP", Arch: gpu.A100(), Ranks: 128 * d, DAP: d, Census: cen, Seed: 1})
+		cfgs = append(cfgs, StepConfig{Name: "baseline+DAP", Scenario: scenario.Scenario{
+			Platform: "A100", Ranks: 128 * d, DAP: d, Census: cen, Seed: 1,
+		}})
 	}
 	res := runConfigs(0, cfgs)
 	base := res[0].MedianStep.Seconds()

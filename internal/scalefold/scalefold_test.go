@@ -3,8 +3,6 @@ package scalefold
 import (
 	"math"
 	"testing"
-
-	"repro/internal/gpu"
 )
 
 // skipIfShort skips figure-scale simulations under -short: the race-checked
@@ -273,8 +271,8 @@ func TestPrepTimeCurve(t *testing.T) {
 }
 
 func TestStepConfigDeterministic(t *testing.T) {
-	a := Figure7Config(gpu.H100(), 128, 1).StepSeconds()
-	b := Figure7Config(gpu.H100(), 128, 1).StepSeconds()
+	a := Figure7Config("H100", 128, 1).StepSeconds()
+	b := Figure7Config("H100", 128, 1).StepSeconds()
 	if a != b {
 		t.Fatal("config runs must be reproducible")
 	}

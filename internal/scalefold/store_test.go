@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/scenario"
 	"repro/internal/store"
 	"repro/internal/sweep"
 )
@@ -241,5 +242,59 @@ func TestSweepGateWrapsColdCellsOnly(t *testing.T) {
 	}
 	if gated != 4 {
 		t.Fatalf("gate ran %d times on a cold sweep, want 4", gated)
+	}
+}
+
+func TestLegacyKeysAreVersionedOutNotSilentlyMatched(t *testing.T) {
+	// A store written by a pre-scenario build holds `%+v`-dump keys. The
+	// documented behavior after the encoding bump: those records stay in the
+	// log (append-only, surfaced as legacy in store stats) but are never
+	// matched — every cell re-simulates under its v3 key rather than
+	// guessing which old dump it corresponds to.
+	dir := t.TempDir()
+	d1, err := store.OpenDisk[cluster.Result](dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyKey := "census{{false false false false false false true 3 1 false}}|ranks=32|dap=1|arch={A100 7.5e+13 ...}|seed=1"
+	poison := cluster.Result{MeanStep: 12345} // would corrupt output if served
+	if err := d1.Put(legacyKey, poison); err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := store.OpenDisk[cluster.Result](dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	spec := tinySpec(nil)
+	spec.Store = d2
+	spec.Metrics = &SweepMetrics{}
+	got := sweepCSV(t, spec)
+	if n := spec.Metrics.StoreHits.Load(); n != 0 {
+		t.Fatalf("legacy keys must never satisfy a lookup, got %d store hits", n)
+	}
+	if n := spec.Metrics.Simulated.Load(); n != 4 {
+		t.Fatalf("every cell must re-simulate past a legacy-only store, simulated %d", n)
+	}
+	if !bytes.Equal(got, sweepCSV(t, tinySpec(nil))) {
+		t.Fatal("legacy store changed emitted bytes")
+	}
+
+	// The legacy record survives (append-only log, counted by version
+	// predicate) and every new record carries the current version prefix.
+	legacy, current := 0, 0
+	for _, k := range d2.Keys() {
+		if scenario.IsCurrentKey(k) {
+			current++
+		} else {
+			legacy++
+		}
+	}
+	if legacy != 1 || current != 4 {
+		t.Fatalf("store must hold 1 legacy + 4 current keys, got %d + %d", legacy, current)
 	}
 }

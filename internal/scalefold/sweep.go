@@ -6,21 +6,27 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cluster"
-	"repro/internal/gpu"
+	"repro/internal/scenario"
 	"repro/internal/store"
 	"repro/internal/sweep"
 )
 
-// SweepSpec declares a scenario sweep over the simulator: a full-factorial
-// grid of GPU architecture × rank count × DAP width × ablation switch × seed
-// replica, lowered to StepConfig cells and executed on the sweep engine.
-// The `scalefold sweep` subcommand is a flag-parsing shim over this type.
+// SweepSpec declares a scenario sweep over the simulator: either a
+// full-factorial grid of platform × rank count × DAP width × ablation switch
+// × seed replica, lowered to canonical Scenarios, or an explicit Scenario
+// list (the service's scenario-JSON jobs). Both run as StepConfig cells on
+// the sweep engine. The `scalefold sweep` subcommand is a flag-parsing shim
+// over this type.
 type SweepSpec struct {
-	// Profile picks the base configuration each cell starts from:
+	// Profile picks the base configuration each grid cell starts from:
 	// "scalefold" (Figure 7 optimized config, default), "baseline"
 	// (unoptimized OpenFold reference) or "fastfold".
 	Profile string
-	// Arches are GPU architecture names: "A100", "H100".
+	// Arches are platform names from the scenario registry ("H100",
+	// "h100-eos", "a100-selene", ...). Grid cells derive their seeds from
+	// the axis values as spelled (pre-scenario-layer compatible), so one
+	// grid should spell each platform one way; explicit Scenarios are the
+	// spelling-independent route.
 	Arches []string
 	Ranks  []int
 	DAPs   []int
@@ -31,6 +37,14 @@ type SweepSpec struct {
 	// values 1..Seeds). Each cell derives its RNG seed deterministically
 	// from the replica index and the scenario fingerprint.
 	Seeds int
+	// Scenarios, when non-empty, replaces the grid axes above: each entry
+	// is one explicit cell, validated by scenario.Validate at spec
+	// validation time (an infeasible explicit scenario is an error, not a
+	// skipped row — the submitter named it deliberately). Identity fields
+	// (Steps included) come entirely from each scenario, so its fingerprint
+	// is a function of the descriptor alone; only the execution knobs below
+	// (Workers, Cache, Store, ...) still apply.
+	Scenarios []scenario.Scenario
 	// Steps overrides the per-simulation step count (0 = simulator default).
 	Steps int
 	// Workers bounds the worker pool (<= 0: GOMAXPROCS).
@@ -112,37 +126,18 @@ func (s SweepSpec) Grid() sweep.Grid {
 	}}
 }
 
-func archByName(name string) (gpu.Arch, error) {
-	switch name {
-	case "A100":
-		return gpu.A100(), nil
-	case "H100":
-		return gpu.H100(), nil
-	}
-	return gpu.Arch{}, fmt.Errorf("unknown arch %q (want A100 or H100)", name)
-}
-
-func validAblation(name string) bool {
-	for _, a := range Ablations {
-		if a == name {
-			return true
-		}
-	}
-	return false
-}
-
 // configFor lowers one grid point to a runnable StepConfig. The reported
 // error marks infeasible cells (rank/DAP mismatch).
 func (s SweepSpec) configFor(p sweep.Point) (StepConfig, error) {
-	arch, err := archByName(p.Get("arch"))
-	if err != nil {
+	platform := p.Get("arch")
+	if _, err := scenario.PlatformByName(platform); err != nil {
 		return StepConfig{}, err
 	}
 	ranks, _ := strconv.Atoi(p.Get("ranks"))
 	dap, _ := strconv.Atoi(p.Get("dap"))
 	seedIdx, _ := strconv.Atoi(p.Get("seed"))
 	ablate := p.Get("ablate")
-	if !validAblation(ablate) {
+	if !scenario.ValidAblation(ablate) {
 		return StepConfig{}, fmt.Errorf("unknown ablation %q (want one of %v)", ablate, Ablations)
 	}
 	if ranks < 1 || dap < 1 || ranks%dap != 0 {
@@ -151,13 +146,13 @@ func (s SweepSpec) configFor(p sweep.Point) (StepConfig, error) {
 	var c StepConfig
 	switch s.Profile {
 	case "", "scalefold":
-		c = Figure7Config(arch, ranks, dap)
+		c = Figure7Config(platform, ranks, dap)
 	case "baseline":
-		c = ReferenceConfig(arch, ranks)
+		c = ReferenceConfig(platform, ranks)
 		c.DAP = dap
 		c.Census.DAP = dap
 	case "fastfold":
-		c = FastFoldConfig(arch, ranks, dap)
+		c = FastFoldConfig(platform, ranks, dap)
 	default:
 		return StepConfig{}, fmt.Errorf("unknown profile %q (want scalefold, baseline or fastfold)", s.Profile)
 	}
@@ -165,7 +160,23 @@ func (s SweepSpec) configFor(p sweep.Point) (StepConfig, error) {
 	c.Ablation = ablate
 	c.Steps = s.Steps
 	c.Seed = sweep.SeedFor(int64(seedIdx), p.Fingerprint())
+	if err := c.Validate(); err != nil {
+		return StepConfig{}, err
+	}
 	return c, nil
+}
+
+// scenarioPoint synthesizes the canonical axis coordinates of an explicit
+// scenario, so explicit-scenario rows land in the same result table (and
+// NDJSON row format) as grid rows.
+func scenarioPoint(sc scenario.Scenario) sweep.Point {
+	return sweep.Point{Coords: []sweep.Coord{
+		{Axis: "arch", Value: sc.Platform},
+		{Axis: "ranks", Value: strconv.Itoa(sc.Ranks)},
+		{Axis: "dap", Value: strconv.Itoa(sc.DAP)},
+		{Axis: "ablate", Value: sc.Ablation},
+		{Axis: "seed", Value: strconv.FormatInt(sc.Seed, 10)},
+	}}
 }
 
 // SweepRow is one executed (or skipped) sweep cell.
@@ -177,22 +188,32 @@ type SweepRow struct {
 	SkipReason string
 }
 
-// validate rejects spec-wide mistakes — an unknown profile, arch or
+// validate rejects spec-wide mistakes — an unknown profile, platform or
 // ablation fails every cell identically, so it is an error, not a grid of
-// skips. Per-cell infeasibility (ranks not divisible by DAP) stays a skip.
+// skips. Per-cell infeasibility (ranks not divisible by DAP) stays a skip on
+// the grid path; an explicit scenario is validated in full, infeasibility
+// included, because its submitter named it deliberately.
 func (s SweepSpec) validate() error {
+	if len(s.Scenarios) > 0 {
+		for i, sc := range s.Scenarios {
+			if err := sc.Validate(); err != nil {
+				return fmt.Errorf("sweep: scenarios[%d]: %w", i, err)
+			}
+		}
+		return nil
+	}
 	switch s.Profile {
 	case "", "scalefold", "baseline", "fastfold":
 	default:
 		return fmt.Errorf("sweep: unknown profile %q (want scalefold, baseline or fastfold)", s.Profile)
 	}
 	for _, a := range s.Arches {
-		if _, err := archByName(a); err != nil {
+		if _, err := scenario.PlatformByName(a); err != nil {
 			return fmt.Errorf("sweep: %v", err)
 		}
 	}
 	for _, ab := range s.Ablations {
-		if !validAblation(ab) {
+		if ab == "" || !scenario.ValidAblation(ab) {
 			return fmt.Errorf("sweep: unknown ablation %q (want one of %v)", ab, Ablations)
 		}
 	}
@@ -200,39 +221,70 @@ func (s SweepSpec) validate() error {
 }
 
 // Validate rejects spec-wide mistakes without running anything: an unknown
-// profile, architecture or ablation, or a grid that cannot expand. The sweep
-// service validates jobs at submission time with it.
+// profile, platform or ablation, an invalid explicit scenario, or a grid
+// that cannot expand. The sweep service validates jobs at submission time
+// with it.
 func (s SweepSpec) Validate() error {
 	if err := s.validate(); err != nil {
 		return err
 	}
+	if len(s.Scenarios) > 0 {
+		return nil
+	}
 	return s.Grid().Validate()
 }
 
-// Run expands the grid, lowers every point, executes the feasible cells on
-// the engine and returns one row per grid point, in grid order. onProgress
-// (optional) streams completion events.
+// Cells returns how many rows the spec expands to: the explicit scenario
+// count, or the full grid size.
+func (s SweepSpec) Cells() int {
+	if len(s.Scenarios) > 0 {
+		return len(s.Scenarios)
+	}
+	return s.Grid().Size()
+}
+
+// Run lowers the spec to cells — one per explicit scenario, or one per grid
+// point — executes the feasible ones on the engine and returns one row per
+// cell, in declaration order. onProgress (optional) streams completion
+// events.
 func (s SweepSpec) Run(onProgress func(sweep.Progress)) ([]SweepRow, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
-	points, err := s.Grid().Expand()
-	if err != nil {
-		return nil, err
-	}
-	rows := make([]SweepRow, len(points))
+	var rows []SweepRow
 	var cells []sweep.Cell[StepConfig]
 	var cellRow []int // cells[i] fills rows[cellRow[i]]
-	for i, p := range points {
-		rows[i].Point = p
-		c, err := s.configFor(p)
-		if err != nil {
-			rows[i].SkipReason = err.Error()
-			continue
+	if len(s.Scenarios) > 0 {
+		rows = make([]SweepRow, len(s.Scenarios))
+		for i, sc := range s.Scenarios {
+			n, err := sc.Normalize() // validated above; canonical names for display
+			if err != nil {
+				return nil, fmt.Errorf("sweep: scenarios[%d]: %w", i, err)
+			}
+			p := scenarioPoint(n)
+			c := StepConfig{Name: p.Fingerprint(), Scenario: n}
+			rows[i].Point = p
+			rows[i].Config = c
+			cells = append(cells, sweep.Cell[StepConfig]{Key: c.Fingerprint(), Label: p.Fingerprint(), Config: c})
+			cellRow = append(cellRow, i)
 		}
-		rows[i].Config = c
-		cells = append(cells, sweep.Cell[StepConfig]{Key: c.Fingerprint(), Label: p.Fingerprint(), Config: c})
-		cellRow = append(cellRow, i)
+	} else {
+		points, err := s.Grid().Expand()
+		if err != nil {
+			return nil, err
+		}
+		rows = make([]SweepRow, len(points))
+		for i, p := range points {
+			rows[i].Point = p
+			c, err := s.configFor(p)
+			if err != nil {
+				rows[i].SkipReason = err.Error()
+				continue
+			}
+			rows[i].Config = c
+			cells = append(cells, sweep.Cell[StepConfig]{Key: c.Fingerprint(), Label: p.Fingerprint(), Config: c})
+			cellRow = append(cellRow, i)
+		}
 	}
 	if s.OnRow != nil {
 		for i := range rows {

@@ -6,7 +6,8 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
-	"repro/internal/gpu"
+	"repro/internal/scenario"
+	"repro/internal/store"
 	"repro/internal/sweep"
 )
 
@@ -152,7 +153,7 @@ func TestSweepRejectsBadAxes(t *testing.T) {
 }
 
 func TestFingerprintSeparatesScenarios(t *testing.T) {
-	a := Figure7Config(gpu.H100(), 256, 2)
+	a := Figure7Config("H100", 256, 2)
 	b := a
 	if a.Fingerprint() != b.Fingerprint() {
 		t.Fatal("identical configs must share a fingerprint")
@@ -174,5 +175,95 @@ func TestFingerprintSeparatesScenarios(t *testing.T) {
 		if m.Fingerprint() == a.Fingerprint() {
 			t.Fatalf("mutation must change fingerprint: %+v", m)
 		}
+	}
+}
+
+func TestFingerprintIsVersionedScenarioKey(t *testing.T) {
+	c := Figure7Config("H100", 256, 2)
+	fp := c.Fingerprint()
+	if !scenario.IsCurrentKey(fp) {
+		t.Fatalf("StepConfig fingerprint %q must be a current-version scenario key", fp)
+	}
+	// The wrapper adds nothing to identity: the embedded Scenario IS the key.
+	if fp != c.Scenario.Fingerprint() {
+		t.Fatal("StepConfig must fingerprint exactly as its Scenario")
+	}
+	// Platform aliases collapse: "H100" and "h100-eos" are one scenario.
+	canon := c
+	canon.Platform = "h100-eos"
+	if canon.Fingerprint() != fp {
+		t.Fatal("platform alias must not change the fingerprint")
+	}
+}
+
+func TestSweepExplicitScenarios(t *testing.T) {
+	sc := Figure7Config("H100", 32, 2).Scenario
+	sc.Steps = 2
+	ab := sc
+	ab.Ablation = "zero-launch"
+	s := SweepSpec{Scenarios: []scenario.Scenario{sc, ab}, Workers: 2, Cache: sweep.NewCache[cluster.Result]()}
+	if s.Cells() != 2 {
+		t.Fatalf("Cells() = %d, want 2", s.Cells())
+	}
+	rows, err := s.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	for i, r := range rows {
+		if r.SkipReason != "" {
+			t.Fatalf("row %d skipped: %s", i, r.SkipReason)
+		}
+		if r.Res.MedianStep <= 0 {
+			t.Fatalf("row %d has no result", i)
+		}
+	}
+	if rows[0].Point.Get("arch") != "h100-eos" || rows[0].Point.Get("dap") != "2" {
+		t.Fatalf("explicit scenario row carries wrong coordinates: %+v", rows[0].Point)
+	}
+
+	// The explicit cell and the equivalent grid cell share one store key:
+	// a grid-warmed store serves the scenario job without simulation.
+	grid := testSpec(2, nil)
+	grid.Ranks = []int{32}
+	grid.DAPs = []int{2}
+	grid.Ablations = []string{"none"}
+	grid.Steps = 2
+	st := store.NewMem[cluster.Result]()
+	grid.Store = st
+	if _, err := grid.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	gridSeed := sweep.SeedFor(1, "arch=H100,ranks=32,dap=2,ablate=none,seed=1")
+	exp := Figure7Config("H100", 32, 2).Scenario
+	exp.Steps = 2
+	exp.Seed = gridSeed
+	expSpec := SweepSpec{
+		Scenarios: []scenario.Scenario{exp},
+		Cache:     sweep.NewCache[cluster.Result](),
+		Store:     st,
+		Metrics:   &SweepMetrics{},
+	}
+	if _, err := expSpec.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := expSpec.Metrics.Simulated.Load(); n != 0 {
+		t.Fatalf("explicit scenario equal to a stored grid cell re-simulated %d times", n)
+	}
+	if n := expSpec.Metrics.StoreHits.Load(); n != 1 {
+		t.Fatalf("want 1 store hit, got %d", n)
+	}
+}
+
+func TestSweepRejectsInvalidExplicitScenario(t *testing.T) {
+	bad := Figure7Config("H100", 30, 4).Scenario // 30 ranks can't host DAP-4
+	s := SweepSpec{Scenarios: []scenario.Scenario{bad}}
+	if _, err := s.Run(nil); err == nil {
+		t.Fatal("invalid explicit scenario must be an error, not a skipped row")
+	}
+	if err := s.Validate(); err == nil {
+		t.Fatal("Validate must reject invalid explicit scenarios")
 	}
 }

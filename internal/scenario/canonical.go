@@ -1,0 +1,126 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/dataset"
+	"repro/internal/gpu"
+	"repro/internal/workload"
+)
+
+// Version is the fingerprint encoding version. Bump it (and update the
+// golden corpus) whenever Canonical's field set, order or formatting
+// changes; see the package comment for the compatibility contract. The v1/v2
+// generations were the pre-scenario `fmt.Sprintf("%+v")` struct dumps, which
+// are recognizably prefix-less and therefore read as legacy keys.
+const Version = 3
+
+// keyPrefix tags every current-generation fingerprint.
+var keyPrefix = fmt.Sprintf("v%d:", Version)
+
+// IsCurrentKey reports whether a memo/store key was minted by this encoding
+// version. Keys from older generations are legacy: kept in the store's
+// append-only log, counted in store statistics, never matched by lookups.
+func IsCurrentKey(key string) bool { return strings.HasPrefix(key, keyPrefix) }
+
+// Fingerprint returns the versioned canonical identity of the scenario:
+// "v3:" + a 128-bit hash of Canonical(). It is the memoization key of the
+// sweep engine and the record key of the persistent result store. Scenarios
+// that normalize equal share a fingerprint; any semantic difference —
+// including the numeric contents of the profiles the scenario references —
+// produces a different one. Unresolvable scenarios are fingerprinted too
+// (from their raw fields) so callers without an error path stay total, but
+// such keys never reach a store: validation rejects the scenario first.
+func (s Scenario) Fingerprint() string {
+	sum := sha256.Sum256([]byte(s.Canonical()))
+	return keyPrefix + hex.EncodeToString(sum[:16])
+}
+
+// Canonical returns the explicit field-by-field encoding of the resolved
+// scenario that Fingerprint hashes. Every cluster.Simulate input appears:
+// profile references are expanded to their numeric contents (so editing a
+// registered profile re-keys the scenarios using it), defaults are applied,
+// floats use the shortest round-trip formatting and durations integer
+// nanoseconds. The format is stable by contract and pinned by the golden
+// test; it is also readable on purpose — debugging a store is `grep`, not a
+// hash-reversal exercise.
+func (s Scenario) Canonical() string {
+	if n, err := s.Normalize(); err == nil {
+		s = n
+	}
+	var b strings.Builder
+	b.WriteString("platform=")
+	b.WriteString(s.Platform)
+	if p, err := PlatformByName(s.Platform); err == nil {
+		canonArch(&b, p.Arch)
+		canonTopo(&b, p.Topo)
+	}
+	b.WriteString(";cpu=")
+	b.WriteString(s.CPU)
+	if c, err := CPUProfileByName(s.CPU); err == nil {
+		canonCPU(&b, c.Model)
+	}
+	b.WriteString(";prep=")
+	b.WriteString(s.Prep)
+	if p, err := PrepProfileByName(s.Prep); err == nil {
+		canonPrep(&b, p.Model)
+	}
+	fmt.Fprintf(&b, ";ranks=%d;dap=%d;", s.Ranks, s.DAP)
+	b.WriteString(CanonicalCensus(s.Census))
+	fmt.Fprintf(&b, ";graph=%s;nonblock=%s;gc_off=%s;workers=%d;prefetch=%d;ablate=%s;seed=%d;steps=%d",
+		canonBool(s.CUDAGraph), canonBool(s.NonBlocking), canonBool(s.DisableGC),
+		s.Workers, s.Prefetch, s.Ablation, s.Seed, s.Steps)
+	return b.String()
+}
+
+// CanonicalCensus is the explicit encoding of the kernel-census options,
+// shared by Canonical and the census memo in package scalefold.
+func CanonicalCensus(o workload.Options) string {
+	return fmt.Sprintf(
+		"census{fused_mha=%s;fused_ln=%s;fused_adam_swa=%s;batched_gemm=%s;torch_compile=%s;bf16=%s;grad_ckpt=%s;recycles=%d;dap=%d;bucketed_clip=%s}",
+		canonBool(o.FusedMHA), canonBool(o.FusedLN), canonBool(o.FusedAdamSWA),
+		canonBool(o.BatchedGEMM), canonBool(o.TorchCompile), canonBool(o.BF16),
+		canonBool(o.GradCheckpoint), o.Recycles, o.DAP, canonBool(o.BucketedClip))
+}
+
+func canonArch(b *strings.Builder, a gpu.Arch) {
+	fmt.Fprintf(b, "{arch{name=%s;flops=%s;bw=%s;launch=%s;replay=%s;fixed=%s;mem_half=%s;math_half=%s}",
+		a.Name, canonFloat(a.PeakFLOPS), canonFloat(a.PeakBW),
+		canonDur(a.LaunchOverhead), canonDur(a.GraphReplayOverhead), canonDur(a.KernelFixed),
+		canonFloat(a.MemHalfSat), canonFloat(a.MathHalfSat))
+}
+
+func canonTopo(b *strings.Builder, t comm.Topology) {
+	fmt.Fprintf(b, ";topo{intra_bw=%s;inter_bw=%s;intra_lat=%s;inter_lat=%s;gpus_per_node=%d}}",
+		canonFloat(t.IntraBW), canonFloat(t.InterBW),
+		canonDur(t.IntraLat), canonDur(t.InterLat), t.GPUsPerNode)
+}
+
+func canonCPU(b *strings.Builder, c gpu.CPUModel) {
+	fmt.Fprintf(b, "{peak_prob=%s;peak_stretch=%s;gc=%s;gc_pause=%s;gc_interval=%d;straggler_prob=%s;straggler_mean=%s}",
+		canonFloat(c.PeakProb), canonFloat(c.PeakStretch), canonBool(c.GCEnabled),
+		canonDur(c.GCPause), c.GCInterval, canonFloat(c.StragglerProb), canonDur(c.StragglerMean))
+}
+
+func canonPrep(b *strings.Builder, m dataset.PrepTimeModel) {
+	fmt.Fprintf(b, "{base=%s;per_residue=%s;per_msa_row=%s;jitter=%s;tail_prob=%s;tail_scale=%s}",
+		canonFloat(m.Base), canonFloat(m.PerResidue), canonFloat(m.PerMSARow),
+		canonFloat(m.JitterSigma), canonFloat(m.HeavyTailProb), canonFloat(m.HeavyTailScale))
+}
+
+func canonBool(v bool) string {
+	if v {
+		return "t"
+	}
+	return "f"
+}
+
+func canonFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func canonDur(d time.Duration) string { return strconv.FormatInt(int64(d), 10) }

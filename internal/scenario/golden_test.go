@@ -1,0 +1,89 @@
+package scenario
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite the fingerprint golden file")
+
+// goldenCorpus is the representative scenario matrix whose canonical
+// encodings are pinned in testdata/fingerprints.golden: every platform, CPU
+// and prep profile, every ablation, and the configurations the figures rely
+// on. If this test fails you changed the meaning of existing store keys —
+// either revert, or bump Version (re-keying every store, documented in the
+// package comment) and regenerate with `go test ./internal/scenario -run
+// Golden -update`.
+func goldenCorpus() []struct {
+	Name string
+	S    Scenario
+} {
+	ref := func(platform string, ranks int) Scenario {
+		return Scenario{Platform: platform, Ranks: ranks, DAP: 1, Census: workload.Baseline(), Seed: 1}
+	}
+	corpus := []struct {
+		Name string
+		S    Scenario
+	}{
+		{"reference-a100x128", ref("A100", 128)},
+		{"reference-h100x128", ref("H100", 128)},
+		{"figure7-h100x256-dap2", fig7ish()},
+		{"selene-a100x256", ref("a100-selene", 256)},
+		{"quiet-cpu", func() Scenario { s := ref("H100", 64); s.CPU = "quiet"; return s }()},
+		{"precomputed-prep", func() Scenario { s := ref("H100", 64); s.Prep = "precomputed"; return s }()},
+		{"gc-off-graphed", func() Scenario {
+			s := fig7ish()
+			s.DisableGC, s.Census.TorchCompile = true, true
+			return s
+		}()},
+		{"deep-prefetch-seed3", func() Scenario { s := ref("A100", 256); s.Prefetch = 128; s.Seed = 3; return s }()},
+	}
+	for _, ab := range Ablations {
+		s := fig7ish()
+		s.Ablation = ab
+		corpus = append(corpus, struct {
+			Name string
+			S    Scenario
+		}{"ablate-" + ab, s})
+	}
+	return corpus
+}
+
+// TestGoldenFingerprints pins the canonical encoding and fingerprint of the
+// corpus so accidental key drift — a reordered field, a reformatted float, a
+// silently edited hardware profile — fails CI instead of cold-starting (or
+// worse, mis-hitting) every persistent store.
+func TestGoldenFingerprints(t *testing.T) {
+	path := filepath.Join("testdata", "fingerprints.golden")
+	var got strings.Builder
+	got.WriteString("# scenario fingerprint golden corpus — encoding version v3\n")
+	got.WriteString("# regenerate deliberately: go test ./internal/scenario -run Golden -update\n")
+	for _, tc := range goldenCorpus() {
+		fmt.Fprintf(&got, "%s\t%s\t%s\n", tc.Name, tc.S.Fingerprint(), tc.S.Canonical())
+	}
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (generate with -update): %v", err)
+	}
+	if got.String() != string(want) {
+		t.Fatalf("canonical scenario encoding drifted from %s.\n"+
+			"This re-keys every persistent store. If the change is deliberate, bump scenario.Version\n"+
+			"and regenerate with -update; otherwise revert the encoding change.\n--- want ---\n%s\n--- got ---\n%s",
+			path, want, got.String())
+	}
+}

@@ -1,0 +1,225 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// fig7ish is a representative optimized scenario (the Figure 7 H100×256
+// DAP-2 cell) assembled from raw fields — package scalefold's constructors
+// sit above this package.
+func fig7ish() Scenario {
+	return Scenario{
+		Platform: "H100", Ranks: 256, DAP: 2,
+		Census: workload.Options{
+			FusedMHA: true, FusedLN: true, FusedAdamSWA: true,
+			BatchedGEMM: true, BF16: true, BucketedClip: true,
+			Recycles: 3, DAP: 2,
+		},
+		CUDAGraph: true, NonBlocking: true,
+		Seed: 1,
+	}
+}
+
+func TestNormalizeResolvesAliasesAndDefaults(t *testing.T) {
+	n, err := fig7ish().Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Platform != "h100-eos" {
+		t.Fatalf("alias H100 must normalize to h100-eos, got %q", n.Platform)
+	}
+	if n.CPU != "default" || n.Prep != "openfold" || n.Ablation != "none" {
+		t.Fatalf("profile defaults not applied: %+v", n)
+	}
+	if n.Workers != 10 || n.Prefetch != 32 || n.Steps != 6 {
+		t.Fatalf("tunable defaults not applied: workers=%d prefetch=%d steps=%d", n.Workers, n.Prefetch, n.Steps)
+	}
+}
+
+func TestFingerprintIgnoresSpelling(t *testing.T) {
+	a := fig7ish()
+	b := fig7ish()
+	b.Platform = "h100-eos" // canonical name instead of alias
+	b.CPU = "default"       // explicit defaults instead of zero values
+	b.Prep = "openfold"
+	b.Ablation = "none"
+	b.Workers, b.Prefetch, b.Steps = 10, 32, 6
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("spelling variants of the same scenario must share a fingerprint:\n%s\nvs\n%s", a.Canonical(), b.Canonical())
+	}
+}
+
+func TestFingerprintSeparatesScenarios(t *testing.T) {
+	base := fig7ish()
+	for name, mut := range map[string]func(*Scenario){
+		"platform": func(s *Scenario) { s.Platform = "a100-selene" },
+		"cpu":      func(s *Scenario) { s.CPU = "quiet" },
+		"prep":     func(s *Scenario) { s.Prep = "precomputed" },
+		"ranks":    func(s *Scenario) { s.Ranks = 512 },
+		"dap":      func(s *Scenario) { s.DAP = 4; s.Census.DAP = 4 },
+		"census":   func(s *Scenario) { s.Census.BF16 = false },
+		"graph":    func(s *Scenario) { s.CUDAGraph = false },
+		"nonblock": func(s *Scenario) { s.NonBlocking = false },
+		"gc":       func(s *Scenario) { s.DisableGC = true },
+		"workers":  func(s *Scenario) { s.Workers = 4 },
+		"prefetch": func(s *Scenario) { s.Prefetch = 128 },
+		"ablation": func(s *Scenario) { s.Ablation = "zero-comm" },
+		"seed":     func(s *Scenario) { s.Seed = 99 },
+		"steps":    func(s *Scenario) { s.Steps = 12 },
+	} {
+		m := base
+		mut(&m)
+		if m.Fingerprint() == base.Fingerprint() {
+			t.Errorf("%s mutation must change the fingerprint", name)
+		}
+	}
+}
+
+func TestFingerprintIsVersioned(t *testing.T) {
+	fp := fig7ish().Fingerprint()
+	if !strings.HasPrefix(fp, "v3:") {
+		t.Fatalf("fingerprint %q must carry the v3: version prefix", fp)
+	}
+	if !IsCurrentKey(fp) {
+		t.Fatalf("IsCurrentKey must accept a fresh fingerprint %q", fp)
+	}
+	for _, legacy := range []string{
+		"census{{false false ...}}|ranks=256|dap=2|arch={H100 ...}", // v1/v2 %+v dumps
+		"v2:deadbeef",
+		"",
+	} {
+		if IsCurrentKey(legacy) {
+			t.Errorf("IsCurrentKey must reject legacy key %q", legacy)
+		}
+	}
+}
+
+func TestValidateRejectsBadScenarios(t *testing.T) {
+	for name, mut := range map[string]func(*Scenario){
+		"unknown platform":  func(s *Scenario) { s.Platform = "TPU" },
+		"unknown cpu":       func(s *Scenario) { s.CPU = "overclocked" },
+		"unknown prep":      func(s *Scenario) { s.Prep = "instant" },
+		"unknown ablation":  func(s *Scenario) { s.Ablation = "zero-lunch" },
+		"zero ranks":        func(s *Scenario) { s.Ranks = 0 },
+		"zero dap":          func(s *Scenario) { s.DAP = 0 },
+		"indivisible":       func(s *Scenario) { s.Ranks = 30; s.DAP = 4 },
+		"census dap clash":  func(s *Scenario) { s.Census.DAP = 8 },
+		"negative steps":    func(s *Scenario) { s.Steps = -1 },
+		"negative recycles": func(s *Scenario) { s.Census.Recycles = -1 },
+	} {
+		s := fig7ish()
+		mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate must reject %+v", name, s)
+		}
+	}
+	if err := fig7ish().Validate(); err != nil {
+		t.Fatalf("the representative scenario must validate: %v", err)
+	}
+}
+
+func TestOptionsLowersAblationWithoutPanic(t *testing.T) {
+	for _, ab := range Ablations {
+		s := fig7ish()
+		s.Ablation = ab
+		if _, err := s.Options(); err != nil {
+			t.Fatalf("ablation %q must lower: %v", ab, err)
+		}
+	}
+	s := fig7ish()
+	s.Ablation = "zero-lunch"
+	if _, err := s.Options(); err == nil {
+		t.Fatal("unknown ablation must surface as an error, not a panic")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := fig7ish()
+	s.Ablation = "zero-serial"
+	s.Prep = "precomputed"
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Fatalf("JSON round trip changed the scenario:\n%+v\nvs\n%+v", back, s)
+	}
+	if back.Fingerprint() != s.Fingerprint() {
+		t.Fatal("JSON round trip changed the fingerprint")
+	}
+}
+
+func TestParseJSONRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseJSON([]byte(`{"platform":"H100","ranks":8,"dap":1,"sed":3}`)); err == nil {
+		t.Fatal("typo'd field must be rejected, not silently dropped")
+	}
+	if _, err := ParseJSONList([]byte(`[{"platform":"H100","ranks":8,"dap":1,"census":{"bf17":true}}]`)); err == nil {
+		t.Fatal("typo'd census field must be rejected")
+	}
+}
+
+func TestParseJSONRejectsTrailingData(t *testing.T) {
+	// Concatenated documents must error, not silently drop the tail.
+	two := `[{"platform":"H100","ranks":8,"dap":1,"seed":1}]
+[{"platform":"A100","ranks":8,"dap":1,"seed":2}]`
+	if _, err := ParseJSONList([]byte(two)); err == nil {
+		t.Fatal("trailing JSON document must be rejected")
+	}
+	if _, err := ParseJSON([]byte(`{"platform":"H100","ranks":8,"dap":1,"seed":1} {}`)); err == nil {
+		t.Fatal("trailing object must be rejected")
+	}
+}
+
+func TestOmittedCensusDAPFollowsGeometry(t *testing.T) {
+	// census.dap = 0 means "follow the geometry": the normalized form,
+	// fingerprint and store key match the explicitly-sharded spelling, and
+	// the lowered census shards the kernels at the plan's degree.
+	implicit := fig7ish()
+	implicit.Census.DAP = 0
+	if err := implicit.Validate(); err != nil {
+		t.Fatalf("unset census DAP must validate: %v", err)
+	}
+	n, err := implicit.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Census.DAP != 2 {
+		t.Fatalf("census DAP must follow geometry DAP-2, got %d", n.Census.DAP)
+	}
+	if implicit.Fingerprint() != fig7ish().Fingerprint() {
+		t.Fatal("implicit and explicit census DAP must be one scenario")
+	}
+}
+
+func TestOptionsMatchesClusterDefaults(t *testing.T) {
+	// The scenario layer's defaults must lower to exactly what
+	// cluster.DefaultOptions produced pre-refactor — the byte-identity of
+	// every figure depends on it.
+	s := Scenario{Platform: "H100", Ranks: 128, DAP: 1, Census: workload.Baseline(), Seed: 1}
+	o, err := s.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Workers != 10 || o.Prefetch != 32 || o.Steps != 6 {
+		t.Fatalf("defaults drifted: %+v", o)
+	}
+	if o.Arch.Name != "H100" || o.Topo.GPUsPerNode != 8 || !o.CPU.GCEnabled {
+		t.Fatalf("profile resolution drifted: %+v", o)
+	}
+	s.DisableGC = true
+	o, err = s.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.CPU.GCEnabled {
+		t.Fatal("DisableGC must flip the CPU model's GC switch")
+	}
+}

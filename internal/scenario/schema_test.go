@@ -1,0 +1,86 @@
+package scenario
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/dataset"
+	"repro/internal/gpu"
+	"repro/internal/workload"
+)
+
+// pinnedSchema is the exact field set (name and type, in declaration order)
+// of every struct that feeds the canonical fingerprint encoding. Adding,
+// removing, renaming or reordering a field in any of them without updating
+// Canonical AND bumping Version would silently change — or worse, silently
+// NOT change — the identity of stored results; this test turns that into a
+// loud CI failure with instructions.
+var pinnedSchema = map[string][]string{
+	"scenario.Scenario": {
+		"Platform string", "CPU string", "Prep string",
+		"Ranks int", "DAP int",
+		"Census workload.Options",
+		"CUDAGraph bool", "NonBlocking bool", "DisableGC bool",
+		"Workers int", "Prefetch int",
+		"Ablation string",
+		"Seed int64", "Steps int",
+	},
+	"workload.Options": {
+		"FusedMHA bool", "FusedLN bool", "FusedAdamSWA bool",
+		"BatchedGEMM bool", "TorchCompile bool", "BF16 bool",
+		"GradCheckpoint bool", "Recycles int", "DAP int", "BucketedClip bool",
+	},
+	"gpu.Arch": {
+		"Name string", "PeakFLOPS float64", "PeakBW float64",
+		"LaunchOverhead time.Duration", "GraphReplayOverhead time.Duration",
+		"KernelFixed time.Duration", "MemHalfSat float64", "MathHalfSat float64",
+	},
+	"comm.Topology": {
+		"IntraBW float64", "InterBW float64",
+		"IntraLat time.Duration", "InterLat time.Duration", "GPUsPerNode int",
+	},
+	"gpu.CPUModel": {
+		"PeakProb float64", "PeakStretch float64",
+		"GCEnabled bool", "GCPause time.Duration", "GCInterval int",
+		"StragglerProb float64", "StragglerMean time.Duration",
+	},
+	"dataset.PrepTimeModel": {
+		"Base float64", "PerResidue float64", "PerMSARow float64",
+		"JitterSigma float64", "HeavyTailProb float64", "HeavyTailScale float64",
+	},
+}
+
+func fieldsOf(v any) []string {
+	t := reflect.TypeOf(v)
+	out := make([]string, t.NumField())
+	for i := range out {
+		f := t.Field(i)
+		out[i] = fmt.Sprintf("%s %s", f.Name, f.Type)
+	}
+	return out
+}
+
+func TestFingerprintSchemaPinned(t *testing.T) {
+	for name, v := range map[string]any{
+		"scenario.Scenario":     Scenario{},
+		"workload.Options":      workload.Options{},
+		"gpu.Arch":              gpu.Arch{},
+		"comm.Topology":         comm.Topology{},
+		"gpu.CPUModel":          gpu.CPUModel{},
+		"dataset.PrepTimeModel": dataset.PrepTimeModel{},
+	} {
+		got := fieldsOf(v)
+		want := pinnedSchema[name]
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s field set changed:\n  pinned: %s\n  actual: %s\n"+
+				"Every field here reaches the canonical fingerprint. To change it:\n"+
+				"  1. encode (or deliberately exclude) the field in Canonical,\n"+
+				"  2. bump scenario.Version (cold-starts every persistent store),\n"+
+				"  3. update this pin and regenerate the golden file with -update.",
+				name, strings.Join(want, "; "), strings.Join(got, "; "))
+		}
+	}
+}

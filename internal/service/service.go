@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/scalefold"
+	"repro/internal/scenario"
 	"repro/internal/store"
 	"repro/internal/sweep"
 )
@@ -54,10 +55,11 @@ type Config struct {
 // Server owns the job queue, the shared worker pool and the result store.
 // Create with New, serve its Handler, and Close it on shutdown.
 type Server struct {
-	cfg   Config
-	st    store.Store[cluster.Result]
-	disk  *store.Disk[cluster.Result] // nil when memory-only
-	slots chan struct{}               // shared simulation-concurrency pool
+	cfg    Config
+	st     store.Store[cluster.Result]
+	disk   *store.Disk[cluster.Result] // nil when memory-only
+	legacy int                         // pre-Version store keys counted at open
+	slots  chan struct{}               // shared simulation-concurrency pool
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -98,6 +100,14 @@ func New(cfg Config) (*Server, error) {
 		s.disk, s.st = d, d
 	} else {
 		s.st = store.NewMem[cluster.Result]()
+	}
+	// Legacy keys can only come from a pre-upgrade store on disk: every key
+	// written from here on carries the current version prefix, so the count
+	// is fixed at open time — no need to rescan per status request.
+	for _, k := range s.st.Keys() {
+		if !scenario.IsCurrentKey(k) {
+			s.legacy++
+		}
 	}
 	for i := 0; i < cfg.MaxActiveJobs; i++ {
 		s.wg.Add(1)
@@ -152,7 +162,7 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 		id:      fmt.Sprintf("job-%06d", s.seq),
 		spec:    spec,
 		state:   StateQueued,
-		cells:   sw.Grid().Size(),
+		cells:   sw.Cells(),
 		created: time.Now(),
 		notify:  make(chan struct{}),
 	}
@@ -251,7 +261,7 @@ func (s *Server) Cancel(id string) (JobStatus, bool) {
 
 // StoreStatus reports the persistent store's state.
 func (s *Server) StoreStatus() StoreStatus {
-	st := StoreStatus{Keys: s.st.Len(), Simulations: scalefold.Simulations()}
+	st := StoreStatus{Keys: s.st.Len(), LegacyKeys: s.legacy, Simulations: scalefold.Simulations()}
 	if s.disk != nil {
 		st.Dir = s.disk.Dir()
 		st.Dropped = s.disk.Dropped()

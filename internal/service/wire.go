@@ -4,12 +4,20 @@ import (
 	"time"
 
 	"repro/internal/scalefold"
+	"repro/internal/scenario"
 )
 
-// JobSpec is the wire form of a sweep job: the same axes the `scalefold
-// sweep` subcommand exposes as flags, JSON-encoded for POST /v1/jobs. Empty
-// fields take the DefaultSweepSpec values, so `{}` submits the default
-// 24-cell exploration grid.
+// JobSpec is the wire form of a sweep job, JSON-encoded for POST /v1/jobs.
+// Two shapes are accepted:
+//
+//   - Grid axes: the same fields the `scalefold sweep` subcommand exposes as
+//     flags. Empty fields take the DefaultSweepSpec values, so `{}` submits
+//     the default 24-cell exploration grid.
+//   - Explicit scenarios: `scenarios` carries canonical scenario.Scenario
+//     JSON objects, one per cell — the same descriptor the memo and the
+//     persistent store are keyed by. When present, the axis fields are
+//     ignored and every scenario is validated at submission (400 on the
+//     first invalid one).
 type JobSpec struct {
 	Profile   string   `json:"profile,omitempty"`
 	Arches    []string `json:"arch,omitempty"`
@@ -22,10 +30,17 @@ type JobSpec struct {
 	// bounds total in-flight simulations across all jobs with its shared
 	// pool, so this can only narrow, never widen, the server limit.
 	Workers int `json:"workers,omitempty"`
+	// Scenarios lists explicit cells in the canonical Scenario JSON schema
+	// (see docs/cli.md); non-empty Scenarios supersede the axis fields.
+	Scenarios []scenario.Scenario `json:"scenarios,omitempty"`
 }
 
-// withDefaults fills unset axes from the default sweep spec.
+// withDefaults fills unset axes from the default sweep spec. Explicit-
+// scenario jobs pass through untouched: their cells are fully specified.
 func (js JobSpec) withDefaults() JobSpec {
+	if len(js.Scenarios) > 0 {
+		return js
+	}
 	d := scalefold.DefaultSweepSpec()
 	if js.Profile == "" {
 		js.Profile = d.Profile
@@ -48,8 +63,9 @@ func (js JobSpec) withDefaults() JobSpec {
 	return js
 }
 
-// sweepSpec lowers the wire spec to an executable one (axes only — the
-// server fills cache, store, metrics and scheduling hooks).
+// sweepSpec lowers the wire spec to an executable one (axes and explicit
+// scenarios only — the server fills cache, store, metrics and scheduling
+// hooks).
 func (js JobSpec) sweepSpec() scalefold.SweepSpec {
 	return scalefold.SweepSpec{
 		Profile:   js.Profile,
@@ -59,6 +75,7 @@ func (js JobSpec) sweepSpec() scalefold.SweepSpec {
 		Ablations: js.Ablations,
 		Seeds:     js.Seeds,
 		Steps:     js.Steps,
+		Scenarios: js.Scenarios,
 	}
 }
 
@@ -125,6 +142,12 @@ type DoneEvent struct {
 // StoreStatus is the wire form of GET /v1/store.
 type StoreStatus struct {
 	Keys int `json:"keys"`
+	// LegacyKeys counts stored results whose key predates the current
+	// fingerprint encoding version (scenario.Version). They are kept in the
+	// append-only log but never matched by lookups — the documented cost of
+	// a deliberate encoding bump. A nonzero count after an upgrade is
+	// expected; a nonzero count on a fresh store is a bug.
+	LegacyKeys int `json:"legacy_keys,omitempty"`
 	// Dir is empty for a memory-only server.
 	Dir string `json:"dir,omitempty"`
 	// Dropped counts unparsable log lines skipped at startup (disk only).

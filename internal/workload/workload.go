@@ -78,23 +78,26 @@ type Program struct {
 	OptKernels  int     // informational: optimizer launches (subset of Groups)
 }
 
-// Options selects which ScaleFold optimizations transform the census.
+// Options selects which ScaleFold optimizations transform the census. The
+// JSON form is the `census` object of the scenario wire format (package
+// scenario); adding a field here must be reflected in the scenario canonical
+// encoding, which the scenario schema test enforces.
 type Options struct {
-	FusedMHA     bool
-	FusedLN      bool
-	FusedAdamSWA bool
-	BatchedGEMM  bool
-	TorchCompile bool
-	BF16         bool
+	FusedMHA     bool `json:"fused_mha,omitempty"`
+	FusedLN      bool `json:"fused_ln,omitempty"`
+	FusedAdamSWA bool `json:"fused_adam_swa,omitempty"`
+	BatchedGEMM  bool `json:"batched_gemm,omitempty"`
+	TorchCompile bool `json:"torch_compile,omitempty"`
+	BF16         bool `json:"bf16,omitempty"`
 	// GradCheckpoint recomputes the forward during backward (baseline: on).
-	GradCheckpoint bool
+	GradCheckpoint bool `json:"grad_checkpoint,omitempty"`
 	// Recycles is the number of no-grad recycling iterations before the
 	// final with-grad iteration (baseline: 3).
-	Recycles int
+	Recycles int `json:"recycles,omitempty"`
 	// DAP is the dynamic-axial-parallelism degree (1 = off).
-	DAP int
+	DAP int `json:"dap,omitempty"`
 	// BucketedClip reuses DDP flat buffers for the gradient norm (§3.3.1).
-	BucketedClip bool
+	BucketedClip bool `json:"bucketed_clip,omitempty"`
 }
 
 // Baseline returns the unoptimized OpenFold reference configuration.
