@@ -414,18 +414,31 @@ func BenchmarkSweep24Cells(b *testing.B) {
 
 // ---------- Cluster simulator throughput ----------
 
+// BenchmarkClusterSimulateDAP8 measures one cold cluster.Simulate call at
+// figure scale — the Figure 7 ScaleFold configuration at DAP-8 — bypassing
+// the memo cache and the persistent store entirely, so ns/op and allocs/op
+// are the simulator's own. The seed varies per iteration to keep the RNG
+// paths honest; reported sim-steps/s is simulated steps per wall-clock
+// second, the number CI uploads as BENCH_sim.json.
 func BenchmarkClusterSimulateDAP8(b *testing.B) {
-	prog := workload.Census(model.FullConfig(), workload.ScaleFold(8))
-	for i := 0; i < b.N; i++ {
-		// The seed varies per iteration; reset so the process-wide memo
-		// cache doesn't grow linearly with b.N.
-		scalefold.ResetStepCache()
-		c := scalefold.Figure7Config("H100", 128, 8)
-		_ = c
-		_ = prog
-		cfg := scalefold.Figure7Config("H100", 256, 8)
-		cfg.Steps = 2
-		cfg.Seed = int64(i + 1)
-		_ = cfg.StepSeconds()
+	for _, ranks := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			cfg := scalefold.Figure7Config("H100", ranks, 8)
+			o, err := cfg.Options()
+			if err != nil {
+				b.Fatal(err)
+			}
+			// The census the Figure 7 pipeline itself lowers, so the
+			// recorded trajectory matches what figure runs actually cost.
+			prog := workload.Census(model.FullConfig(), cfg.Census)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o.Seed = int64(i + 1)
+				_ = cluster.Simulate(prog, ranks, 8, o)
+			}
+			perSec := float64(b.N) * float64(time.Second) / float64(b.Elapsed())
+			b.ReportMetric(float64(o.Steps)*perSec, "sim-steps/s")
+		})
 	}
 }

@@ -153,6 +153,7 @@ type axisFlags struct {
 	arch, ranks, dap, ablate *string
 	profile, scenarios       *string
 	seeds, steps, workers    *int
+	simWorkers               *int
 }
 
 func addAxisFlags(fs *flag.FlagSet) *axisFlags {
@@ -169,6 +170,9 @@ func addAxisFlags(fs *flag.FlagSet) *axisFlags {
 			`JSON file of explicit scenario descriptors ("-" = stdin); supersedes the axis flags`),
 		steps:   fs.Int("steps", 0, "simulated steps per cell (0 = simulator default)"),
 		workers: fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS / server pool)"),
+		simWorkers: fs.Int("sim-workers", 0, `goroutines sharding each simulation's per-rank work
+(0/1 = serial; execution detail — results and fingerprints are
+identical for every value)`),
 	}
 }
 
@@ -208,29 +212,31 @@ func (a *axisFlags) scenarioList(cmd string) []scenario.Scenario {
 
 func (a *axisFlags) jobSpec(cmd string) service.JobSpec {
 	return service.JobSpec{
-		Profile:   *a.profile,
-		Arches:    sweep.ParseList(*a.arch),
-		Ranks:     parseIntList("ranks", *a.ranks),
-		DAPs:      parseIntList("dap", *a.dap),
-		Ablations: sweep.ParseList(*a.ablate),
-		Seeds:     *a.seeds,
-		Steps:     *a.steps,
-		Workers:   *a.workers,
-		Scenarios: a.scenarioList(cmd),
+		Profile:    *a.profile,
+		Arches:     sweep.ParseList(*a.arch),
+		Ranks:      parseIntList("ranks", *a.ranks),
+		DAPs:       parseIntList("dap", *a.dap),
+		Ablations:  sweep.ParseList(*a.ablate),
+		Seeds:      *a.seeds,
+		Steps:      *a.steps,
+		Workers:    *a.workers,
+		SimWorkers: *a.simWorkers,
+		Scenarios:  a.scenarioList(cmd),
 	}
 }
 
 func (a *axisFlags) sweepSpec(cmd string) scalefold.SweepSpec {
 	return scalefold.SweepSpec{
-		Profile:   *a.profile,
-		Arches:    sweep.ParseList(*a.arch),
-		Ranks:     parseIntList("ranks", *a.ranks),
-		DAPs:      parseIntList("dap", *a.dap),
-		Ablations: sweep.ParseList(*a.ablate),
-		Seeds:     *a.seeds,
-		Steps:     *a.steps,
-		Workers:   *a.workers,
-		Scenarios: a.scenarioList(cmd),
+		Profile:    *a.profile,
+		Arches:     sweep.ParseList(*a.arch),
+		Ranks:      parseIntList("ranks", *a.ranks),
+		DAPs:       parseIntList("dap", *a.dap),
+		Ablations:  sweep.ParseList(*a.ablate),
+		Seeds:      *a.seeds,
+		Steps:      *a.steps,
+		Workers:    *a.workers,
+		SimWorkers: *a.simWorkers,
+		Scenarios:  a.scenarioList(cmd),
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/comm"
@@ -47,6 +48,16 @@ type Options struct {
 
 	Seed  int64
 	Steps int // steps to average over
+
+	// SimWorkers bounds the goroutines one Simulate call shards its
+	// per-rank work across (the data-wait precompute and the per-DP-group
+	// sync-interval march); <= 1 runs serially. Every rank owns a private
+	// RNG stream, so the result is bit-identical for every value — this is
+	// an execution knob, not part of the scenario's identity, and it is
+	// deliberately excluded from the scenario fingerprint. Sweeps already
+	// parallelize across cells; SimWorkers is for making one big simulation
+	// fast.
+	SimWorkers int
 
 	// Ablation switches (Figure 3): each idealizes one barrier.
 	ZeroLaunchOverhead bool // CPU overhead eliminated
@@ -118,39 +129,79 @@ type Result struct {
 	GraphCapture time.Duration
 }
 
+// runSharded splits [0, n) into contiguous shards across at most `workers`
+// goroutines and blocks until every shard completes. workers <= 1 (or a
+// single-item range) runs fn inline on the caller's goroutine — the serial
+// path allocates nothing.
+func runSharded(workers, n int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		go func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}()
+	}
+	wg.Wait()
+}
+
+// groupStep is one DAP group's contribution to one step's global barrier:
+// the group's end-of-step maximum and sum (for the all-reduce straggler
+// accounting) and its accumulated intra-group sync waits. Durations are
+// integer nanoseconds, so summing contributions in any order is exact —
+// which is what makes the group-sharded march bit-identical to the serial
+// one.
+type groupStep struct {
+	max, sum, comm time.Duration
+}
+
 // Simulate runs the step simulation for a program on `ranks` GPUs at the
 // given DAP degree.
+//
+// Hot-path structure (see docs/ARCHITECTURE.md "Simulator hot path"): the
+// data-wait precompute asks the dataset layer for sample geometry only —
+// no protein is folded, no MSA materialized — and both it and the per-group
+// step march shard across Options.SimWorkers goroutines. Per-rank RNG
+// streams and per-group state are disjoint, and cross-group reductions sum
+// integer nanoseconds, so the Result is bit-identical for every SimWorkers
+// value. All step-loop scratch is hoisted and reused: the steady-state loop
+// allocates nothing.
 func Simulate(prog *workload.Program, ranks, dapDegree int, o Options) Result {
 	plan, err := dap.NewPlan(ranks, dapDegree)
 	if err != nil {
 		panic(err)
 	}
 	o = o.normalized()
-	// --- Per-step invariants (identical across ranks) ---
-	var gpuCompute, serialPart time.Duration
+	workers := o.SimWorkers
+
+	// --- Per-step invariants (identical across ranks), one pass over the
+	// census: roofline kernel time, serial share, launch count, and the
+	// exposed-CPU baseline (launches whose issue cost exceeds the kernel's
+	// own duration leave the GPU idle; approximated per group).
+	exposeCPU := !o.CUDAGraph && !o.ZeroLaunchOverhead
+	var gpuCompute, serialPart, cpuExposedBase time.Duration
 	var launches int
 	for _, g := range prog.Groups {
 		if o.ZeroSerial && g.Serial {
 			continue
 		}
-		d := time.Duration(g.Calls) * o.Arch.KernelDuration(g.PerCallFlops(), g.PerCallBytes(), o.FlatEfficiency)
+		perCall := o.Arch.KernelDuration(g.PerCallFlops(), g.PerCallBytes(), o.FlatEfficiency)
+		d := time.Duration(g.Calls) * perCall
 		gpuCompute += d
 		if g.Serial {
 			serialPart += d
 		}
 		launches += g.Calls
-	}
-
-	// Exposed CPU baseline: launches whose issue cost exceeds the previous
-	// kernel's duration leave the GPU idle. We approximate per group.
-	var cpuExposedBase time.Duration
-	if !o.CUDAGraph && !o.ZeroLaunchOverhead {
-		for _, g := range prog.Groups {
-			if o.ZeroSerial && g.Serial {
-				continue
-			}
-			per := o.Arch.KernelDuration(g.PerCallFlops(), g.PerCallBytes(), o.FlatEfficiency)
-			if gap := o.Arch.LaunchOverhead - per; gap > 0 {
+		if exposeCPU {
+			if gap := o.Arch.LaunchOverhead - perCall; gap > 0 {
 				cpuExposedBase += time.Duration(g.Calls) * gap
 			}
 		}
@@ -175,28 +226,35 @@ func Simulate(prog *workload.Program, ranks, dapDegree int, o Options) Result {
 	// the epoch end out of the measurement (the non-blocking loader defers
 	// slow batches, and at the very end of an epoch it must finally wait
 	// for them — steady-state training doesn't see that).
+	// Prep times come from the geometry-only dataset path: the cost model
+	// reads nothing but the sample's index, sequence length and MSA size,
+	// so no protein is folded and no MSA allocated just to be timed. Ranks
+	// are independent (the generator is stateless per index, the timer
+	// reseeds per index), so the precompute shards across the worker pool.
 	warmup := 16
 	if o.Prefetch > warmup {
 		warmup = o.Prefetch
 	}
 	stepEstimate := gpuCompute + cpuExposedBase + xferPerStep
-	dataWaits := make([][]time.Duration, ranks)
 	gen := dataset.NewGenerator(o.Seed + 101)
 	epoch := warmup + o.Steps + 16
-	for r := 0; r < ranks; r++ {
+	// dataWaits is rank-major: rank r's wait for step s at [r*Steps+s].
+	dataWaits := make([]time.Duration, ranks*o.Steps)
+	runSharded(workers, ranks, func(lo, hi int) {
+		gs := gen.Sampler()
+		pt := o.PrepModel.Timer()
 		prep := make([]time.Duration, epoch)
-		for k := range prep {
-			s := gen.Sample(r*epoch + k)
-			prep[k] = o.PrepModel.Duration(s, o.Seed+int64(r))
+		for r := lo; r < hi; r++ {
+			for k := range prep {
+				idx := r*epoch + k
+				seqLen, msaSize := gs.Geometry(idx)
+				prep[k] = pt.DurationAt(idx, seqLen, msaSize, o.Seed+int64(r))
+			}
+			tl := pipeline.AnalyticSim{PrepTimes: prep, Workers: o.Workers, Prefetch: o.Prefetch, NonBlocking: o.NonBlockingPipeline}.Run(stepEstimate)
+			copy(dataWaits[r*o.Steps:(r+1)*o.Steps], tl.Wait[warmup:warmup+o.Steps])
 		}
-		tl := pipeline.AnalyticSim{PrepTimes: prep, Workers: o.Workers, Prefetch: o.Prefetch, NonBlocking: o.NonBlockingPipeline}.Run(stepEstimate)
-		dataWaits[r] = tl.Wait[warmup : warmup+o.Steps]
-	}
+	})
 
-	// --- Per-step simulation ---
-	stepTimes := make([]time.Duration, 0, o.Steps)
-	stepComm := make([]time.Duration, 0, o.Steps)
-	stepData := make([]time.Duration, 0, o.Steps)
 	var graphCapture time.Duration
 	if o.CUDAGraph {
 		// All recycling scenarios (1..4 recycles) are captured once during
@@ -206,8 +264,6 @@ func Simulate(prog *workload.Program, ranks, dapDegree int, o Options) Result {
 			graphCapture += graphs.Launch(o.Arch, key, launches, o.CPU, 0)
 		}
 	}
-	var total time.Duration
-	var bk Breakdown
 	intervals := syncEvents + 1
 
 	rankRNGs := make([]*rand.Rand, ranks)
@@ -239,8 +295,7 @@ func Simulate(prog *workload.Program, ranks, dapDegree int, o Options) Result {
 	if o.CUDAGraph {
 		stragglerProb /= 15
 	}
-	advance := func(r int, gpuChunk, cpuChunk time.Duration) time.Duration {
-		rr := rankRNGs[r]
+	advance := func(rr *rand.Rand, gpuChunk, cpuChunk time.Duration) time.Duration {
 		d := gpuChunk + cpuChunk
 		if o.PerfectBalance {
 			return d
@@ -267,91 +322,139 @@ func Simulate(prog *workload.Program, ranks, dapDegree int, o Options) Result {
 		return d
 	}
 
-	for step := 0; step < o.Steps; step++ {
-		// Per-rank CPU exposure this step.
-		cpuExposed := make([]time.Duration, ranks)
-		for r := 0; r < ranks; r++ {
-			if o.CUDAGraph {
-				// Graph replay only: captures happened during init. Python
-				// GC still stalls the host between replays until disabled.
-				cpuExposed[r] = o.Arch.GraphReplayOverhead + gcCost(o.CPU, launches)
-			} else if !o.ZeroLaunchOverhead {
-				cpuExposed[r] = cpuExposedBase + gcCost(o.CPU, launches)
+	// Per-rank CPU exposure is identical for every rank and every step —
+	// it is a scalar, not a per-step buffer.
+	var cpuExposedStep time.Duration
+	if o.CUDAGraph {
+		// Graph replay only: captures happened during init. Python GC still
+		// stalls the host between replays until disabled.
+		cpuExposedStep = o.Arch.GraphReplayOverhead + gcCost(o.CPU, launches)
+	} else if !o.ZeroLaunchOverhead {
+		cpuExposedStep = cpuExposedBase + gcCost(o.CPU, launches)
+	}
+
+	// --- The step march, sharded by DAP group. Within one step a DAP group
+	// interacts only internally (its sync barriers) until the global
+	// all-reduce; across steps a rank's only carried state is its private
+	// RNG stream. So each group's whole step sequence is independent of
+	// every other group's, and groups shard freely across workers: each
+	// group marches through all steps, recording its per-step barrier
+	// contributions, and a sequential reduction assembles the global
+	// all-reduce afterwards. Per-kernel sync marching applies when the DAP
+	// degree shards kernels (Degree > 1 with sync events); otherwise each
+	// rank is its own group of one advancing in a single chunk.
+	march := plan.Degree > 1 && syncEvents > 0
+	nGroups, gsize := ranks, 1
+	var evCost time.Duration
+	if march {
+		nGroups, gsize = plan.DPWays, plan.Degree
+		// Cost of one sync event (mean over kinds) plus the NCCL kernel
+		// launch latency, which CUDA graphs absorb into the graph.
+		evCost = xferPerStep / time.Duration(syncEvents)
+		if !o.CUDAGraph {
+			evCost += 2 * o.Arch.LaunchOverhead
+		}
+	}
+	perRankChunk := gpuCompute / time.Duration(intervals)
+	cpuChunk := cpuExposedStep / time.Duration(intervals)
+	// stats is group-major: group g's step s entry at [g*Steps+s].
+	stats := make([]groupStep, nGroups*o.Steps)
+	runSharded(workers, nGroups, func(glo, ghi int) {
+		// One reusable now-buffer per worker: the steady-state step loop
+		// below allocates nothing.
+		now := make([]time.Duration, gsize)
+		for g := glo; g < ghi; g++ {
+			base := g * gsize
+			rngs := rankRNGs[base : base+gsize]
+			for step := 0; step < o.Steps; step++ {
+				st := &stats[g*o.Steps+step]
+				if !march {
+					// Single chunk: data wait, one advance, done.
+					w := dataWaits[g*o.Steps+step]
+					if o.PerfectBalance {
+						w = 0
+					}
+					v := w + advance(rngs[0], gpuCompute, cpuExposedStep)
+					st.max, st.sum = v, v
+					continue
+				}
+				// Per-rank start offset: data pipeline wait.
+				for i := range now {
+					w := dataWaits[(base+i)*o.Steps+step]
+					if o.PerfectBalance {
+						w = 0
+					}
+					now[i] = w
+				}
+				// March through sync intervals: advance each rank by its
+				// chunk, then sync within the group.
+				var comm time.Duration
+				for ev := 0; ev < syncEvents; ev++ {
+					var mx time.Duration
+					for i := range now {
+						now[i] += advance(rngs[i], perRankChunk, cpuChunk)
+						if now[i] > mx {
+							mx = now[i]
+						}
+					}
+					for i := range now {
+						comm += (mx - now[i]) / time.Duration(ranks)
+						now[i] = mx + evCost
+					}
+				}
+				// Remaining compute after the last sync.
+				var gmx, gsum time.Duration
+				for i := range now {
+					now[i] += advance(rngs[i], perRankChunk, cpuChunk)
+					if now[i] > gmx {
+						gmx = now[i]
+					}
+					gsum += now[i]
+				}
+				st.max, st.sum, st.comm = gmx, gsum, comm
 			}
 		}
+	})
 
-		// Per-rank start offset: data pipeline wait.
-		now := make([]time.Duration, ranks)
+	// --- Sequential reduction: per step, assemble the global all-reduce
+	// barrier and the breakdown from the group contributions.
+	stepTimes := make([]time.Duration, 0, o.Steps)
+	stepComm := make([]time.Duration, 0, o.Steps)
+	stepData := make([]time.Duration, 0, o.Steps)
+	var total time.Duration
+	var bk Breakdown
+	var xferAcc time.Duration
+	if march {
+		xferAcc = time.Duration(syncEvents) * evCost
+	}
+	arCost := o.Topo.AllReduce(plan.DPWays, prog.GradBytes/float64(plan.Degree))
+	// Gradient clipping: bucketed clip hides under the all-reduce.
+	clipTime := time.Duration(prog.ClipKernels) * o.Arch.LaunchOverhead
+	visible, _ := comm.OverlapGradClip(arCost, clipTime)
+	clipExposed := visible - arCost
+	for step := 0; step < o.Steps; step++ {
 		var stepDataWait time.Duration
-		for r := 0; r < ranks; r++ {
-			w := dataWaits[r][step]
-			if o.PerfectBalance {
-				w = 0
+		if !o.PerfectBalance {
+			for r := 0; r < ranks; r++ {
+				stepDataWait += dataWaits[r*o.Steps+step]
 			}
-			now[r] = w
-			stepDataWait += w
 		}
 		bk.DataWait += stepDataWait / time.Duration(ranks)
 		stepData = append(stepData, stepDataWait/time.Duration(ranks))
 
-		// March through sync intervals.
-		perRankChunk := gpuCompute / time.Duration(intervals)
-		perRankCPUChunk := func(r int) time.Duration { return cpuExposed[r] / time.Duration(intervals) }
-
-		var commWaitAcc, xferAcc time.Duration
-		if plan.Degree > 1 && syncEvents > 0 {
-			// Cost of one sync event (mean over kinds) plus the NCCL kernel
-			// launch latency, which CUDA graphs absorb into the graph.
-			evCost := xferPerStep / time.Duration(syncEvents)
-			if !o.CUDAGraph {
-				evCost += 2 * o.Arch.LaunchOverhead
+		// Data-parallel gradient all-reduce: global barrier over the
+		// group maxima.
+		var commWaitAcc, mx, sum time.Duration
+		for g := 0; g < nGroups; g++ {
+			st := &stats[g*o.Steps+step]
+			commWaitAcc += st.comm
+			if st.max > mx {
+				mx = st.max
 			}
-			for ev := 0; ev < syncEvents; ev++ {
-				// Advance each rank by its chunk, then sync within each DAP
-				// group.
-				for g := 0; g < plan.DPWays; g++ {
-					base := g * plan.Degree
-					var mx time.Duration
-					for i := 0; i < plan.Degree; i++ {
-						r := base + i
-						now[r] += advance(r, perRankChunk, perRankCPUChunk(r))
-						if now[r] > mx {
-							mx = now[r]
-						}
-					}
-					for i := 0; i < plan.Degree; i++ {
-						r := base + i
-						commWaitAcc += (mx - now[r]) / time.Duration(ranks)
-						now[r] = mx + evCost
-					}
-				}
-				xferAcc += evCost
-			}
-			// Remaining compute after the last sync.
-			for r := 0; r < ranks; r++ {
-				now[r] += advance(r, perRankChunk, perRankCPUChunk(r))
-			}
-		} else {
-			for r := 0; r < ranks; r++ {
-				now[r] += advance(r, gpuCompute, cpuExposed[r])
-			}
-		}
-
-		// Data-parallel gradient all-reduce: global barrier.
-		var mx, sum time.Duration
-		for r := 0; r < ranks; r++ {
-			if now[r] > mx {
-				mx = now[r]
-			}
-			sum += now[r]
+			sum += st.sum
 		}
 		drWait := mx - sum/time.Duration(ranks)
 		commWaitAcc += drWait
-		arCost := o.Topo.AllReduce(plan.DPWays, prog.GradBytes/float64(plan.Degree))
-		// Gradient clipping: bucketed clip hides under the all-reduce.
-		clipTime := time.Duration(prog.ClipKernels) * o.Arch.LaunchOverhead
-		visible, _ := comm.OverlapGradClip(arCost, clipTime)
-		clipExposed := visible - arCost
 		stepEnd := mx + visible
 
 		total += stepEnd
@@ -360,11 +463,7 @@ func Simulate(prog *workload.Program, ranks, dapDegree int, o Options) Result {
 		bk.CommWait += commWaitAcc
 		bk.CommXfer += xferAcc + arCost
 		bk.ClipExposed += clipExposed
-		var cpuMean time.Duration
-		for r := 0; r < ranks; r++ {
-			cpuMean += cpuExposed[r]
-		}
-		bk.CPUExposed += cpuMean / time.Duration(ranks)
+		bk.CPUExposed += cpuExposedStep
 	}
 
 	n := time.Duration(o.Steps)

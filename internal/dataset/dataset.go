@@ -48,20 +48,83 @@ func NewGenerator(seed int64) *Generator {
 	return &Generator{seed: seed, MinLen: 64, MaxLen: 768, MSADepth: 8, MutationRate: 0.15}
 }
 
-// Sample generates the idx-th sample of the dataset, deterministically.
-func (g *Generator) Sample(idx int) *Sample {
-	rng := rand.New(rand.NewSource(g.seed*1_000_003 + int64(idx)))
+// rngFor returns a fresh RNG positioned at the start of sample idx's draw
+// sequence. Sample and Geometry both start here, which is what keeps their
+// shared prefix bit-identical.
+func (g *Generator) rngFor(idx int) *rand.Rand {
+	return rand.New(rand.NewSource(g.seed*1_000_003 + int64(idx)))
+}
+
+// drawLen and drawMSASize are the geometry draws of the sample sequence,
+// shared by Sample and the geometry fast path so the two can never
+// desynchronize — there is exactly one definition of each draw.
+func (g *Generator) drawLen(rng *rand.Rand) int {
 	length := g.MinLen
 	if g.MaxLen > g.MinLen {
 		// Sequence lengths are right-skewed like real PDB chains.
 		u := rng.Float64()
 		length = g.MinLen + int(float64(g.MaxLen-g.MinLen)*u*u)
 	}
+	return length
+}
+
+func drawMSASize(rng *rand.Rand) int {
+	return 16 + int(math.Abs(rng.NormFloat64())*2000)
+}
+
+// geometry replays the geometry prefix of the sample draw sequence on rng —
+// the length draw, the length residue draws, the MSA-size draw — and returns
+// the pre-crop geometry. The residue values are drawn and discarded: the
+// MSA-size draw must observe the exact RNG state Sample's would, so the
+// prefix is consumed, just never materialized.
+func (g *Generator) geometry(rng *rand.Rand) (seqLen, msaSize int) {
+	seqLen = g.drawLen(rng)
+	for i := 0; i < seqLen; i++ {
+		rng.Intn(NumResidueTypes - 1)
+	}
+	return seqLen, drawMSASize(rng)
+}
+
+// Geometry returns the pre-crop geometry of the idx-th sample — SeqLen and
+// MSASize, the only fields batch-preparation cost depends on — without
+// folding the protein or allocating the sequence, coordinates or MSA. It is
+// guaranteed to equal Sample(idx).SeqLen / .MSASize: both replay the same
+// RNG draw prefix (see geometry). The step simulator and the Figure 4 curve
+// run on this path; Sample is for callers that train on the data.
+func (g *Generator) Geometry(idx int) (seqLen, msaSize int) {
+	return g.geometry(g.rngFor(idx))
+}
+
+// GeomSampler evaluates Geometry with a reusable RNG, eliminating the
+// per-call generator allocation on hot loops (the cluster simulator asks for
+// tens of thousands of geometries per run). Not safe for concurrent use;
+// give each goroutine its own.
+type GeomSampler struct {
+	g   *Generator
+	rng *rand.Rand
+}
+
+// Sampler returns a reusable geometry sampler over g.
+func (g *Generator) Sampler() *GeomSampler {
+	return &GeomSampler{g: g, rng: rand.New(rand.NewSource(0))}
+}
+
+// Geometry is Generator.Geometry without the per-call RNG allocation:
+// reseeding positions the reused RNG exactly where a fresh one would start.
+func (s *GeomSampler) Geometry(idx int) (seqLen, msaSize int) {
+	s.rng.Seed(s.g.seed*1_000_003 + int64(idx))
+	return s.g.geometry(s.rng)
+}
+
+// Sample generates the idx-th sample of the dataset, deterministically.
+func (g *Generator) Sample(idx int) *Sample {
+	rng := g.rngFor(idx)
+	length := g.drawLen(rng)
 	seq := make([]int, length)
 	for i := range seq {
 		seq[i] = rng.Intn(NumResidueTypes - 1)
 	}
-	msaSize := 16 + int(math.Abs(rng.NormFloat64())*2000)
+	msaSize := drawMSASize(rng)
 
 	s := &Sample{
 		Index:   idx,

@@ -1,0 +1,99 @@
+package dataset
+
+import (
+	"testing"
+)
+
+// TestGeometryMatchesSample is the contract of the fast path: for every
+// index, Geometry must report exactly the SeqLen/MSASize a materialized
+// Sample carries — it replays the same RNG draw prefix, so any divergence
+// means the prefix drifted and the simulator is costing a different dataset
+// than the trainer sees.
+func TestGeometryMatchesSample(t *testing.T) {
+	n := 10_000
+	if testing.Short() {
+		n = 500 // keep the equivalence guard alive in the -race -short job
+	}
+	for _, seed := range []int64{1, 7, 102} {
+		g := NewGenerator(seed)
+		gs := g.Sampler()
+		for idx := 0; idx < n; idx++ {
+			s := g.Sample(idx)
+			seqLen, msaSize := g.Geometry(idx)
+			if seqLen != s.SeqLen || msaSize != s.MSASize {
+				t.Fatalf("seed %d idx %d: Geometry (%d,%d) != Sample (%d,%d)",
+					seed, idx, seqLen, msaSize, s.SeqLen, s.MSASize)
+			}
+			rl, rm := gs.Geometry(idx)
+			if rl != seqLen || rm != msaSize {
+				t.Fatalf("seed %d idx %d: GeomSampler (%d,%d) != Geometry (%d,%d)",
+					seed, idx, rl, rm, seqLen, msaSize)
+			}
+		}
+	}
+}
+
+// TestDurationAtMatchesDuration pins the prep-time side of the fast path:
+// DurationAt on the geometry must be bit-identical to Duration on the
+// materialized sample, with and without the reusable-RNG evaluator.
+func TestDurationAtMatchesDuration(t *testing.T) {
+	g := NewGenerator(11)
+	m := DefaultPrepTimeModel()
+	pt := m.Timer()
+	for _, seed := range []int64{1, 7, 9} {
+		for idx := 0; idx < 500; idx++ {
+			s := g.Sample(idx)
+			want := m.Duration(s, seed)
+			if got := m.DurationAt(idx, s.SeqLen, s.MSASize, seed); got != want {
+				t.Fatalf("seed %d idx %d: DurationAt %v != Duration %v", seed, idx, got, want)
+			}
+			if got := pt.DurationAt(idx, s.SeqLen, s.MSASize, seed); got != want {
+				t.Fatalf("seed %d idx %d: PrepTimer %v != Duration %v", seed, idx, got, want)
+			}
+		}
+	}
+}
+
+// TestGeomSamplerReseedExact guards the reuse trick itself: a reused RNG
+// that visits indices out of order must still agree with fresh-RNG calls —
+// Seed fully resets the generator state.
+func TestGeomSamplerReseedExact(t *testing.T) {
+	g := NewGenerator(42)
+	gs := g.Sampler()
+	order := []int{5, 0, 99, 5, 17, 0}
+	for _, idx := range order {
+		al, am := gs.Geometry(idx)
+		bl, bm := g.Geometry(idx)
+		if al != bl || am != bm {
+			t.Fatalf("idx %d: reused RNG (%d,%d) != fresh RNG (%d,%d)", idx, al, am, bl, bm)
+		}
+	}
+}
+
+// BenchmarkGeometryVsSample documents why the fast path exists: the
+// geometry-only draw skips the fold and the MSA rows.
+func BenchmarkGeometryVsSample(b *testing.B) {
+	g := NewGenerator(1)
+	b.Run("Sample", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = g.Sample(i % 4096)
+		}
+	})
+	b.Run("Geometry", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, _ = g.Geometry(i % 4096)
+		}
+	})
+	b.Run("GeomSampler", func(b *testing.B) {
+		gs := g.Sampler()
+		pt := DefaultPrepTimeModel().Timer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			idx := i % 4096
+			seqLen, msaSize := gs.Geometry(idx)
+			_ = pt.DurationAt(idx, seqLen, msaSize, 7)
+		}
+	})
+}

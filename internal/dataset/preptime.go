@@ -49,10 +49,23 @@ func DefaultPrepTimeModel() PrepTimeModel {
 }
 
 // Duration returns the preparation time for a sample, deterministically
-// derived from the sample index and the model's seed.
+// derived from the sample index and the model's seed. It reads nothing but
+// the sample's index and pre-crop geometry; DurationAt is the same function
+// without the materialized sample.
 func (m PrepTimeModel) Duration(s *Sample, seed int64) time.Duration {
-	rng := rand.New(rand.NewSource(seed*7_919 + int64(s.Index)))
-	t := m.Base + m.PerResidue*float64(s.SeqLen) + m.PerMSARow*float64(s.MSASize)
+	return m.DurationAt(s.Index, s.SeqLen, s.MSASize, seed)
+}
+
+// DurationAt returns the preparation time of sample idx given its pre-crop
+// geometry (Generator.Geometry's output), bit-identical to Duration on the
+// materialized sample. The simulator hot path pairs it with Geometry so no
+// protein is ever folded just to be timed.
+func (m PrepTimeModel) DurationAt(idx, seqLen, msaSize int, seed int64) time.Duration {
+	return m.durationAt(rand.New(rand.NewSource(seed*7_919+int64(idx))), seqLen, msaSize)
+}
+
+func (m PrepTimeModel) durationAt(rng *rand.Rand, seqLen, msaSize int) time.Duration {
+	t := m.Base + m.PerResidue*float64(seqLen) + m.PerMSARow*float64(msaSize)
 	t *= math.Exp(rng.NormFloat64() * m.JitterSigma)
 	if rng.Float64() < m.HeavyTailProb {
 		t *= m.HeavyTailScale * (0.8 + 0.7*rng.Float64())
@@ -71,13 +84,36 @@ func (m PrepTimeModel) Duration(s *Sample, seed int64) time.Duration {
 	return time.Duration(t * float64(time.Second))
 }
 
-// SortedPrepTimes generates n samples and returns their preparation times in
-// ascending order, in seconds — the Figure 4 curve.
+// PrepTimer evaluates a PrepTimeModel with a reusable RNG — DurationAt
+// without the per-call generator allocation. Not safe for concurrent use;
+// give each goroutine its own.
+type PrepTimer struct {
+	m   PrepTimeModel
+	rng *rand.Rand
+}
+
+// Timer returns a reusable evaluator over m.
+func (m PrepTimeModel) Timer() *PrepTimer {
+	return &PrepTimer{m: m, rng: rand.New(rand.NewSource(0))}
+}
+
+// DurationAt matches PrepTimeModel.DurationAt bit for bit: reseeding
+// positions the reused RNG exactly where a fresh one would start.
+func (t *PrepTimer) DurationAt(idx, seqLen, msaSize int, seed int64) time.Duration {
+	t.rng.Seed(seed*7_919 + int64(idx))
+	return t.m.durationAt(t.rng, seqLen, msaSize)
+}
+
+// SortedPrepTimes returns the preparation times of the first n samples in
+// ascending order, in seconds — the Figure 4 curve. It runs on the
+// geometry-only fast path: no sample is materialized, no protein folded.
 func SortedPrepTimes(gen *Generator, m PrepTimeModel, n int, seed int64) []float64 {
 	out := make([]float64, n)
+	gs := gen.Sampler()
+	pt := m.Timer()
 	for i := 0; i < n; i++ {
-		s := gen.Sample(i)
-		out[i] = m.Duration(s, seed).Seconds()
+		seqLen, msaSize := gs.Geometry(i)
+		out[i] = pt.DurationAt(i, seqLen, msaSize, seed).Seconds()
 	}
 	sort.Float64s(out)
 	return out

@@ -49,6 +49,13 @@ type SweepSpec struct {
 	Steps int
 	// Workers bounds the worker pool (<= 0: GOMAXPROCS).
 	Workers int
+	// SimWorkers shards each simulation's internal per-rank work across
+	// goroutines (<= 1: serial; see cluster.Options.SimWorkers). Execution
+	// detail only — results and fingerprints are identical for every value.
+	// Applied to every grid cell, and to explicit Scenarios that don't set
+	// their own. Prefer Workers (cell parallelism) for many-cell sweeps;
+	// SimWorkers pays off when a few huge-rank cells dominate.
+	SimWorkers int
 	// Cache memoizes results across Run calls. nil selects the process-wide
 	// cache shared with the figure runners; benchmarks and determinism
 	// tests pass a fresh one to force cold execution.
@@ -159,6 +166,7 @@ func (s SweepSpec) configFor(p sweep.Point) (StepConfig, error) {
 	c.Name = p.Fingerprint()
 	c.Ablation = ablate
 	c.Steps = s.Steps
+	c.SimWorkers = s.SimWorkers
 	c.Seed = sweep.SeedFor(int64(seedIdx), p.Fingerprint())
 	if err := c.Validate(); err != nil {
 		return StepConfig{}, err
@@ -194,6 +202,11 @@ type SweepRow struct {
 // the grid path; an explicit scenario is validated in full, infeasibility
 // included, because its submitter named it deliberately.
 func (s SweepSpec) validate() error {
+	if s.SimWorkers < 0 {
+		// An execution knob, but a negative value would fail every cell
+		// identically at scenario validation — reject the spec up front.
+		return fmt.Errorf("sweep: sim-workers must be >= 0, got %d", s.SimWorkers)
+	}
 	if len(s.Scenarios) > 0 {
 		for i, sc := range s.Scenarios {
 			if err := sc.Validate(); err != nil {
@@ -260,6 +273,10 @@ func (s SweepSpec) Run(onProgress func(sweep.Progress)) ([]SweepRow, error) {
 			n, err := sc.Normalize() // validated above; canonical names for display
 			if err != nil {
 				return nil, fmt.Errorf("sweep: scenarios[%d]: %w", i, err)
+			}
+			if n.SimWorkers == 0 {
+				// Spec-level execution knob; a scenario's own setting wins.
+				n.SimWorkers = s.SimWorkers
 			}
 			p := scenarioPoint(n)
 			c := StepConfig{Name: p.Fingerprint(), Scenario: n}

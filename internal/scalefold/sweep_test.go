@@ -69,6 +69,27 @@ func TestSweepWorkerCountDoesNotChangeOutput(t *testing.T) {
 	}
 }
 
+// TestSweepSimWorkersDoesNotChangeOutput pins the execution-detail contract
+// end to end: sharding each cell's internal per-rank work across goroutines
+// must leave the CSV byte-identical — SimWorkers is excluded from the
+// fingerprint precisely because it cannot change a row. Kept small (4 cells)
+// so it runs under the -race -short CI job, where the sharded march gets its
+// data-race audit.
+func TestSweepSimWorkersDoesNotChangeOutput(t *testing.T) {
+	spec := func(simWorkers int) SweepSpec {
+		s := testSpec(2, nil)
+		s.Ablations = []string{"none"}
+		s.SimWorkers = simWorkers
+		return s
+	}
+	serial := sweepCSV(t, spec(0))
+	for _, w := range []int{1, 4, 8} {
+		if got := sweepCSV(t, spec(w)); !bytes.Equal(serial, got) {
+			t.Fatalf("SimWorkers=%d changed the CSV:\n%s\nvs\n%s", w, serial, got)
+		}
+	}
+}
+
 func TestSweepMemoizationMatchesColdRun(t *testing.T) {
 	skipIfShort(t)
 	cold := sweepCSV(t, testSpec(4, nil))

@@ -50,6 +50,11 @@ func (s Scenario) Fingerprint() string {
 // nanoseconds. The format is stable by contract and pinned by the golden
 // test; it is also readable on purpose — debugging a store is `grep`, not a
 // hash-reversal exercise.
+//
+// SimWorkers is deliberately NOT encoded: it only shards the simulator's
+// work across goroutines and cannot change a Result bit, so it is an
+// execution detail outside the scenario's identity (the exclusion is pinned
+// by TestFingerprintExcludesSimWorkers).
 func (s Scenario) Canonical() string {
 	if n, err := s.Normalize(); err == nil {
 		s = n

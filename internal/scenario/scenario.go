@@ -80,6 +80,14 @@ type Scenario struct {
 	// simulated steps to average over (0 = default).
 	Seed  int64 `json:"seed"`
 	Steps int   `json:"steps,omitempty"`
+
+	// SimWorkers bounds the goroutines one simulation shards its per-rank
+	// work across (<= 1: serial). Pure execution detail: the simulator
+	// returns bit-identical Results for every value, so this field is
+	// deliberately EXCLUDED from Canonical and the fingerprint — two
+	// scenarios differing only here are the same scenario, the same memo
+	// entry and the same store record.
+	SimWorkers int `json:"sim_workers,omitempty"`
 }
 
 // Ablations lists the recognized Scenario.Ablation values: "none" plus one
@@ -183,8 +191,8 @@ func (s Scenario) Validate() error {
 	if s.Census.DAP != 0 && s.Census.DAP != s.DAP {
 		return fmt.Errorf("scenario: census DAP %d contradicts geometry DAP %d", s.Census.DAP, s.DAP)
 	}
-	if s.Workers < 0 || s.Prefetch < 0 || s.Steps < 0 {
-		return fmt.Errorf("scenario: workers/prefetch/steps must be >= 0")
+	if s.Workers < 0 || s.Prefetch < 0 || s.Steps < 0 || s.SimWorkers < 0 {
+		return fmt.Errorf("scenario: workers/prefetch/steps/sim_workers must be >= 0")
 	}
 	if s.Census.Recycles < 0 {
 		return fmt.Errorf("scenario: census recycles must be >= 0")
@@ -218,6 +226,7 @@ func (s Scenario) Options() (cluster.Options, error) {
 		PrepModel:           prep.Model,
 		Seed:                n.Seed,
 		Steps:               n.Steps,
+		SimWorkers:          n.SimWorkers,
 	}
 	if n.DisableGC {
 		o.CPU.GCEnabled = false

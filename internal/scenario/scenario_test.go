@@ -79,6 +79,42 @@ func TestFingerprintSeparatesScenarios(t *testing.T) {
 	}
 }
 
+// TestFingerprintExcludesSimWorkers pins the one deliberate exclusion from
+// the canonical encoding: SimWorkers shards the simulator's work across
+// goroutines without changing a Result bit, so scenarios differing only
+// there must share a Canonical string, a fingerprint, a memo entry and a
+// store record — and the encoding (hence Version, hence every existing
+// store) must not move.
+func TestFingerprintExcludesSimWorkers(t *testing.T) {
+	base := fig7ish()
+	for _, w := range []int{1, 4, 8, 64} {
+		m := base
+		m.SimWorkers = w
+		if m.Canonical() != base.Canonical() {
+			t.Fatalf("SimWorkers=%d leaked into the canonical encoding:\n%s\nvs\n%s",
+				w, m.Canonical(), base.Canonical())
+		}
+		if m.Fingerprint() != base.Fingerprint() {
+			t.Fatalf("SimWorkers=%d must not change the fingerprint", w)
+		}
+	}
+	// It still lowers to the simulator option and survives the wire format.
+	m := base
+	m.SimWorkers = 8
+	o, err := m.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.SimWorkers != 8 {
+		t.Fatalf("SimWorkers must lower to cluster.Options, got %d", o.SimWorkers)
+	}
+	neg := base
+	neg.SimWorkers = -1
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative SimWorkers must be rejected")
+	}
+}
+
 func TestFingerprintIsVersioned(t *testing.T) {
 	fp := fig7ish().Fingerprint()
 	if !strings.HasPrefix(fp, "v3:") {

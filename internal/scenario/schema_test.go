@@ -27,6 +27,11 @@ var pinnedSchema = map[string][]string{
 		"Workers int", "Prefetch int",
 		"Ablation string",
 		"Seed int64", "Steps int",
+		// SimWorkers is the one deliberately-excluded field: a goroutine
+		// count cannot change a Result bit (TestSimulateParallelDeterminism
+		// in package cluster), so it stays outside Canonical — no Version
+		// bump. TestFingerprintExcludesSimWorkers pins the exclusion.
+		"SimWorkers int",
 	},
 	"workload.Options": {
 		"FusedMHA bool", "FusedLN bool", "FusedAdamSWA bool",

@@ -80,6 +80,54 @@ func TestScenarioJobsRunAndMatchGridCells(t *testing.T) {
 	}
 }
 
+// TestSimWorkersJobIsClampedAndByteIdentical pins the server-side contract
+// of the sim_workers execution knob: an absurd width cannot multiply the
+// server's compute concurrency past its pool (the clamp in runJob), and the
+// rows stream byte-identical to a serial job — SimWorkers is excluded from
+// the fingerprint, so both jobs resolve to the same store records.
+func TestSimWorkersJobIsClampedAndByteIdentical(t *testing.T) {
+	_, client, stop := newTestServer(t, Config{Workers: 2})
+	defer stop()
+
+	serial, err := client.Submit(JobSpec{Scenarios: []scenario.Scenario{tinyScenario("")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialRows, done := collectRows(t, client, serial.ID)
+	if done.State != StateDone {
+		t.Fatalf("serial job ended %+v", done)
+	}
+
+	// Both clamp routes: the spec-level knob and a scenario carrying its
+	// own absurd sim_workers (which bypasses the spec field entirely).
+	perScenario := tinyScenario("")
+	perScenario.SimWorkers = 4096
+	for name, spec := range map[string]JobSpec{
+		"spec-level":   {Scenarios: []scenario.Scenario{tinyScenario("")}, SimWorkers: 4096},
+		"per-scenario": {Scenarios: []scenario.Scenario{perScenario}},
+	} {
+		sharded, err := client.Submit(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		shardedRows, done2 := collectRows(t, client, sharded.ID)
+		if done2.State != StateDone {
+			t.Fatalf("%s: sharded job ended %+v", name, done2)
+		}
+		if done2.StoreHits != 1 {
+			t.Fatalf("%s: sharded job must hit the serial job's store record, got %+v", name, done2)
+		}
+		if len(serialRows) != 1 || len(shardedRows) != 1 {
+			t.Fatalf("%s: rows: %d vs %d, want 1 each", name, len(serialRows), len(shardedRows))
+		}
+		for k, v := range serialRows[0].Data {
+			if shardedRows[0].Data[k] != v {
+				t.Fatalf("%s: sim_workers changed row field %q: %q vs %q", name, k, v, shardedRows[0].Data[k])
+			}
+		}
+	}
+}
+
 // TestBadScenarioIs400NotPanic pins the ablation satellite: an unknown
 // ablation (or any invalid scenario) in the wire spec is a validation error
 // at submission — HTTP 400 with the offending name — not a panic that a

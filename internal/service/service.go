@@ -289,6 +289,30 @@ func (s *Server) runJob(j *job) {
 	if sw.Workers <= 0 || sw.Workers > s.cfg.Workers {
 		sw.Workers = s.cfg.Workers
 	}
+	// SimWorkers shards work *inside* each gated cell, which the slot
+	// semaphore cannot see — unclamped, one job could multiply the server's
+	// compute concurrency past the pool. Bound the product of cell
+	// parallelism and intra-cell shards by the pool size (results are
+	// identical at any width, so clamping only costs latency). Explicit
+	// scenarios carry their own sim_workers, so those are clamped too —
+	// on a copy, leaving the job's submitted spec as received.
+	simLim := s.cfg.Workers / sw.Workers
+	if simLim < 1 {
+		simLim = 1
+	}
+	if sw.SimWorkers > simLim {
+		sw.SimWorkers = simLim
+	}
+	cloned := false
+	for i := range sw.Scenarios {
+		if sw.Scenarios[i].SimWorkers > simLim {
+			if !cloned {
+				sw.Scenarios = append([]scenario.Scenario(nil), sw.Scenarios...)
+				cloned = true
+			}
+			sw.Scenarios[i].SimWorkers = simLim
+		}
+	}
 	sw.Gate = func(run func()) {
 		if j.cancelled.Load() {
 			return // drain: cell settles as a zero row, never persisted

@@ -30,6 +30,12 @@ type JobSpec struct {
 	// bounds total in-flight simulations across all jobs with its shared
 	// pool, so this can only narrow, never widen, the server limit.
 	Workers int `json:"workers,omitempty"`
+	// SimWorkers shards each simulation's internal per-rank work across
+	// goroutines (execution detail: results and store keys are identical
+	// for every value — see scenario.Scenario.SimWorkers). The server
+	// clamps it so cell-parallelism × intra-cell shards never exceeds its
+	// worker pool — like Workers, it can only narrow the server limit.
+	SimWorkers int `json:"sim_workers,omitempty"`
 	// Scenarios lists explicit cells in the canonical Scenario JSON schema
 	// (see docs/cli.md); non-empty Scenarios supersede the axis fields.
 	Scenarios []scenario.Scenario `json:"scenarios,omitempty"`
@@ -68,14 +74,15 @@ func (js JobSpec) withDefaults() JobSpec {
 // hooks).
 func (js JobSpec) sweepSpec() scalefold.SweepSpec {
 	return scalefold.SweepSpec{
-		Profile:   js.Profile,
-		Arches:    js.Arches,
-		Ranks:     js.Ranks,
-		DAPs:      js.DAPs,
-		Ablations: js.Ablations,
-		Seeds:     js.Seeds,
-		Steps:     js.Steps,
-		Scenarios: js.Scenarios,
+		Profile:    js.Profile,
+		Arches:     js.Arches,
+		Ranks:      js.Ranks,
+		DAPs:       js.DAPs,
+		Ablations:  js.Ablations,
+		Seeds:      js.Seeds,
+		Steps:      js.Steps,
+		SimWorkers: js.SimWorkers,
+		Scenarios:  js.Scenarios,
 	}
 }
 
