@@ -20,6 +20,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/kernels"
 	"repro/internal/model"
+	"repro/internal/perturb"
 	"repro/internal/pipeline"
 	"repro/internal/scalefold"
 	"repro/internal/sweep"
@@ -439,6 +440,42 @@ func BenchmarkClusterSimulateDAP8(b *testing.B) {
 			}
 			perSec := float64(b.N) * float64(time.Second) / float64(b.Elapsed())
 			b.ReportMetric(float64(o.Steps)*perSec, "sim-steps/s")
+		})
+	}
+}
+
+// BenchmarkSimulatePerturbed measures one cold perturbed cluster.Simulate
+// call at figure scale — the Figure 7 ScaleFold configuration at DAP-8
+// under combined noise (5% straggler ranks up to 3x, 0.2 stalls/step of 2s
+// mean, 1e-3 fail prob with a 60s restart) — alongside the healthy
+// BenchmarkClusterSimulateDAP8 numbers. Reported sim-steps/s prices what
+// the perturbation draws cost the hot path; goodput records the simulated
+// resilience outcome CI tracks in BENCH_perturb.json.
+func BenchmarkSimulatePerturbed(b *testing.B) {
+	spec := perturb.Spec{
+		SlowdownProb: 0.05, SlowdownFactor: 3,
+		StallRate: 0.2, StallMean: 2,
+		FailProb: 0.001, RestartCost: 60,
+	}
+	for _, ranks := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			cfg := scalefold.Figure7Config("H100", ranks, 8)
+			cfg.Perturb = &spec
+			o, err := cfg.Options()
+			if err != nil {
+				b.Fatal(err)
+			}
+			prog := workload.Census(model.FullConfig(), cfg.Census)
+			var goodput float64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o.Seed = int64(i + 1)
+				goodput = cluster.Simulate(prog, ranks, 8, o).Goodput
+			}
+			perSec := float64(b.N) * float64(time.Second) / float64(b.Elapsed())
+			b.ReportMetric(float64(o.Steps)*perSec, "sim-steps/s")
+			b.ReportMetric(goodput, "goodput")
 		})
 	}
 }

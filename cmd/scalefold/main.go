@@ -13,6 +13,7 @@
 //	scalefold fig11    from-scratch pretraining curve (Figure 11)
 //	scalefold all      everything above in order
 //	scalefold sweep    parallel scenario sweep over axis flags (see -h)
+//	scalefold resilience  goodput-vs-failure-rate sweep (perturbation layer)
 //	scalefold serve    long-running sweep server: HTTP job queue + store
 //	scalefold submit   submit a sweep job to a running server
 //	scalefold jobs     list, inspect or cancel server jobs
@@ -39,6 +40,7 @@ import (
 
 	"repro/docs"
 	"repro/internal/cluster"
+	"repro/internal/perturb"
 	"repro/internal/pipeline"
 	"repro/internal/scalefold"
 	"repro/internal/scenario"
@@ -68,6 +70,9 @@ func main() {
 		return
 	case "sweep":
 		sweepCmd(os.Args[2:])
+		return
+	case "resilience":
+		resilienceCmd(os.Args[2:])
 		return
 	case "serve":
 		serveCmd(os.Args[2:])
@@ -131,12 +136,12 @@ func unknownCommand(w io.Writer, cmd string) int {
 }
 
 // parseIntList converts a comma-separated flag value to ints.
-func parseIntList(flagName, s string) []int {
+func parseIntList(cmd, flagName, s string) []int {
 	var out []int
 	for _, f := range sweep.ParseList(s) {
 		v, err := strconv.Atoi(f)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sweep: -%s: %q is not an integer\n", flagName, f)
+			fmt.Fprintf(os.Stderr, "%s: -%s: %q is not an integer\n", cmd, flagName, f)
 			os.Exit(2)
 		}
 		out = append(out, v)
@@ -154,6 +159,7 @@ type axisFlags struct {
 	profile, scenarios       *string
 	seeds, steps, workers    *int
 	simWorkers               *int
+	perturb                  *string
 }
 
 func addAxisFlags(fs *flag.FlagSet) *axisFlags {
@@ -173,7 +179,34 @@ func addAxisFlags(fs *flag.FlagSet) *axisFlags {
 		simWorkers: fs.Int("sim-workers", 0, `goroutines sharding each simulation's per-rank work
 (0/1 = serial; execution detail — results and fingerprints are
 identical for every value)`),
+		perturb: fs.String("perturb", "",
+			`perturbation spec: a JSON file path, or inline JSON starting with "{"
+(stragglers/stalls/failures; see docs/cli.md); applied to every grid
+cell and to explicit scenarios without their own "perturb" block`),
 	}
+}
+
+// parsePerturb resolves a -perturb flag value: empty means none, a value
+// starting with "{" is inline JSON, anything else is a file path. The spec
+// is strict-decoded and validated; errors exit 2.
+func parsePerturb(cmd, v string) *perturb.Spec {
+	if v == "" {
+		return nil
+	}
+	data := []byte(v)
+	if !strings.HasPrefix(strings.TrimSpace(v), "{") {
+		var err error
+		if data, err = os.ReadFile(v); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: -perturb: %v\n", cmd, err)
+			os.Exit(2)
+		}
+	}
+	sp, err := perturb.ParseJSON(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: -perturb: %v\n", cmd, err)
+		os.Exit(2)
+	}
+	return &sp
 }
 
 // scenarioList loads and validates the explicit-scenario file, if any.
@@ -214,13 +247,14 @@ func (a *axisFlags) jobSpec(cmd string) service.JobSpec {
 	return service.JobSpec{
 		Profile:    *a.profile,
 		Arches:     sweep.ParseList(*a.arch),
-		Ranks:      parseIntList("ranks", *a.ranks),
-		DAPs:       parseIntList("dap", *a.dap),
+		Ranks:      parseIntList(cmd, "ranks", *a.ranks),
+		DAPs:       parseIntList(cmd, "dap", *a.dap),
 		Ablations:  sweep.ParseList(*a.ablate),
 		Seeds:      *a.seeds,
 		Steps:      *a.steps,
 		Workers:    *a.workers,
 		SimWorkers: *a.simWorkers,
+		Perturb:    parsePerturb(cmd, *a.perturb),
 		Scenarios:  a.scenarioList(cmd),
 	}
 }
@@ -229,13 +263,14 @@ func (a *axisFlags) sweepSpec(cmd string) scalefold.SweepSpec {
 	return scalefold.SweepSpec{
 		Profile:    *a.profile,
 		Arches:     sweep.ParseList(*a.arch),
-		Ranks:      parseIntList("ranks", *a.ranks),
-		DAPs:       parseIntList("dap", *a.dap),
+		Ranks:      parseIntList(cmd, "ranks", *a.ranks),
+		DAPs:       parseIntList(cmd, "dap", *a.dap),
 		Ablations:  sweep.ParseList(*a.ablate),
 		Seeds:      *a.seeds,
 		Steps:      *a.steps,
 		Workers:    *a.workers,
 		SimWorkers: *a.simWorkers,
+		Perturb:    parsePerturb(cmd, *a.perturb),
 		Scenarios:  a.scenarioList(cmd),
 	}
 }
@@ -310,6 +345,116 @@ future sweeps, jobs and figure runs`)
 	}
 	emit(*csvPath, "csv", func(f *os.File) error { return tab.WriteCSV(f) })
 	emit(*jsonPath, "json", func(f *os.File) error { return tab.WriteJSON(f) })
+}
+
+// parseFloatList converts a comma-separated flag value to float64s.
+func parseFloatList(cmd, flagName, s string) []float64 {
+	var out []float64
+	for _, f := range sweep.ParseList(s) {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: -%s: %q is not a number\n", cmd, flagName, f)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// joinInts/joinFloats render DefaultResilienceSpec's axes as flag defaults,
+// so the CLI and the library default cannot drift apart.
+func joinInts(vs []int) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = strconv.Itoa(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+func joinFloats(vs []float64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
+}
+
+func resilienceCmd(args []string) {
+	fs := flag.NewFlagSet("resilience", flag.ExitOnError)
+	d := scalefold.DefaultResilienceSpec()
+	arch := fs.String("arch", d.Platform,
+		"platform profile ("+strings.Join(scenario.PlatformNames(), ", ")+")")
+	ranks := fs.String("ranks", joinInts(d.Ranks), "comma-separated GPU counts")
+	dapN := fs.Int("dap", d.DAP, "DAP width for every cell")
+	failRates := fs.String("fail", joinFloats(d.FailProbs),
+		"comma-separated per-rank per-step failure probabilities")
+	restartCost := fs.Float64("restart-cost", d.RestartCost,
+		"checkpoint-restart cost in seconds per failure")
+	perturbFlag := fs.String("perturb", "",
+		`base perturbation spec layered under the failure axis (JSON file
+path or inline JSON; its fail_prob/restart_cost_s are overridden per
+cell)`)
+	steps := fs.Int("steps", 0, "simulated steps per cell (0 = simulator default)")
+	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	simWorkers := fs.Int("sim-workers", 0, "goroutines sharding each simulation's per-rank work")
+	csvPath := fs.String("csv", "-", `CSV destination ("-" = stdout, "" = off)`)
+	storeDir := fs.String("store", "", `persistent result-store directory ("" = off)`)
+	quiet := fs.Bool("quiet", false, "suppress streaming progress on stderr")
+	fs.Parse(args)
+
+	spec := scalefold.ResilienceSpec{
+		Platform:    *arch,
+		Ranks:       parseIntList("resilience", "ranks", *ranks),
+		DAP:         *dapN,
+		FailProbs:   parseFloatList("resilience", "fail", *failRates),
+		RestartCost: *restartCost,
+		Base:        parsePerturb("resilience", *perturbFlag),
+		Steps:       *steps,
+		Workers:     *workers,
+		SimWorkers:  *simWorkers,
+	}
+	if *storeDir != "" {
+		ds, err := store.OpenDisk[cluster.Result](*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "resilience: %v\n", err)
+			os.Exit(2)
+		}
+		defer ds.Close()
+		spec.Store = ds
+	}
+	var progress func(sweep.Progress)
+	if !*quiet {
+		progress = func(ev sweep.Progress) {
+			note := ""
+			if ev.Cached {
+				note = " (memoized)"
+			}
+			fmt.Fprintf(os.Stderr, "[%3d/%3d] %s%s (%v)\n",
+				ev.Done, ev.Total, ev.Label, note, ev.Elapsed.Round(time.Millisecond))
+		}
+	}
+	rows, err := spec.Run(progress)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	if *csvPath == "" {
+		return
+	}
+	out := os.Stdout
+	if *csvPath != "-" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "resilience: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := scalefold.ResilienceTable(spec, rows).WriteCSV(out); err != nil {
+		fmt.Fprintf(os.Stderr, "resilience: writing csv: %v\n", err)
+		os.Exit(2)
+	}
 }
 
 func serveCmd(args []string) {

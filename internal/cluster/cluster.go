@@ -18,6 +18,7 @@ import (
 	"repro/internal/dap"
 	"repro/internal/dataset"
 	"repro/internal/gpu"
+	"repro/internal/perturb"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -59,6 +60,15 @@ type Options struct {
 	// fast.
 	SimWorkers int
 
+	// Perturb injects unhealthy-cluster noise: persistent per-rank
+	// stragglers, Poisson-arriving transient stalls, and rank failures
+	// paid for with a checkpoint-restart. The zero value injects nothing
+	// and leaves the simulation bit-identical to a build without the
+	// perturbation layer; when enabled, every rank draws from a private
+	// perturbation RNG stream (disjoint from the execution-jitter
+	// streams), so Results stay bit-identical at any SimWorkers width.
+	Perturb perturb.Spec
+
 	// Ablation switches (Figure 3): each idealizes one barrier.
 	ZeroLaunchOverhead bool // CPU overhead eliminated
 	PerfectBalance     bool // workers synchronized before every collective
@@ -80,6 +90,7 @@ func (o Options) normalized() Options {
 	if o.Prefetch < 1 {
 		o.Prefetch = 32
 	}
+	o.Perturb = o.Perturb.Normalize()
 	return o
 }
 
@@ -119,14 +130,32 @@ type Result struct {
 	MeanStep time.Duration
 	// MedianStep is robust to the rare multi-second data-pipeline stalls;
 	// step-time microbenchmarks (Figures 7 and 8) report it, while
-	// time-to-train accounting uses the mean.
+	// time-to-train accounting uses the mean. It doubles as the p50 of
+	// the per-step wall times.
 	MedianStep time.Duration
-	Break      Breakdown
-	Plan       dap.Plan
+	// P99Step is the ceiling-99th-percentile per-step wall time (the
+	// maximum for runs under 100 steps): the tail a perturbed cluster
+	// fattens with stalls and restarts.
+	P99Step time.Duration
+	Break   Breakdown
+	Plan    dap.Plan
 	// GraphCapture is the one-time CUDA-graph capture cost (all recycling
 	// scenarios), paid during initialization — Figure 9's "compilation"
 	// share, not steady-state step time.
 	GraphCapture time.Duration
+
+	// Perturbation accounting (see Options.Perturb; zero restarts and
+	// stall share, goodput 1, on a healthy cluster):
+
+	// Restarts counts steps lost to a rank failure — each added one
+	// checkpoint-restart plus a step replay to the wall clock.
+	Restarts int
+	// StallShare is the mean fraction of a rank's wall time spent in
+	// injected transient stalls.
+	StallShare float64
+	// Goodput is useful step time over wall-clock time: 1 on a healthy
+	// run, degraded by restart costs and replayed steps on a failing one.
+	Goodput float64
 }
 
 // runSharded splits [0, n) into contiguous shards across at most `workers`
@@ -155,12 +184,15 @@ func runSharded(workers, n int, fn func(lo, hi int)) {
 
 // groupStep is one DAP group's contribution to one step's global barrier:
 // the group's end-of-step maximum and sum (for the all-reduce straggler
-// accounting) and its accumulated intra-group sync waits. Durations are
-// integer nanoseconds, so summing contributions in any order is exact —
-// which is what makes the group-sharded march bit-identical to the serial
-// one.
+// accounting), its accumulated intra-group sync waits, and — when a
+// perturbation is active — its injected stall time and failed-rank count.
+// Durations are integer nanoseconds and fails an integer, so summing
+// contributions in any order is exact — which is what makes the
+// group-sharded march bit-identical to the serial one.
 type groupStep struct {
 	max, sum, comm time.Duration
+	stall          time.Duration
+	fails          int
 }
 
 // Simulate runs the step simulation for a program on `ranks` GPUs at the
@@ -271,6 +303,20 @@ func Simulate(prog *workload.Program, ranks, dapDegree int, o Options) Result {
 		rankRNGs[r] = rand.New(rand.NewSource(o.Seed*31 + int64(r)))
 	}
 
+	// Perturbation streams: one private RNG stream per rank, disjoint from
+	// the execution-jitter streams above, drawn in step order inside the
+	// march. Disabled specs allocate nothing and draw nothing, so the
+	// unperturbed simulation is bit-identical to a build without this
+	// layer.
+	perturbed := o.Perturb.Enabled()
+	var perturbs []*perturb.Stream
+	if perturbed {
+		perturbs = make([]*perturb.Stream, ranks)
+		for r := range perturbs {
+			perturbs[r] = o.Perturb.Stream(o.Seed, r)
+		}
+	}
+
 	// advance returns the duration of one compute chunk on a rank: the GPU
 	// share plus the CPU-exposed share, the latter stretched when a
 	// background CPU peak lands in the chunk. CUDA graphs make the CPU share
@@ -360,12 +406,28 @@ func Simulate(prog *workload.Program, ranks, dapDegree int, o Options) Result {
 	// stats is group-major: group g's step s entry at [g*Steps+s].
 	stats := make([]groupStep, nGroups*o.Steps)
 	runSharded(workers, nGroups, func(glo, ghi int) {
-		// One reusable now-buffer per worker: the steady-state step loop
-		// below allocates nothing.
+		// Reusable per-worker scratch — the now-buffer and the per-rank
+		// chunk durations: the steady-state step loop below allocates
+		// nothing. Unperturbed, every rank's chunks are the shared scalars;
+		// perturbed, each group's entries are rescaled by its ranks'
+		// persistent straggler factors.
 		now := make([]time.Duration, gsize)
+		gpuChunks := make([]time.Duration, gsize)
+		cpuChunks := make([]time.Duration, gsize)
+		for i := 0; i < gsize; i++ {
+			gpuChunks[i] = perRankChunk
+			cpuChunks[i] = cpuChunk
+		}
 		for g := glo; g < ghi; g++ {
 			base := g * gsize
 			rngs := rankRNGs[base : base+gsize]
+			if perturbed && march {
+				for i := range gpuChunks {
+					f := perturbs[base+i].Factor()
+					gpuChunks[i] = scaleDur(perRankChunk, f)
+					cpuChunks[i] = scaleDur(cpuChunk, f)
+				}
+			}
 			for step := 0; step < o.Steps; step++ {
 				st := &stats[g*o.Steps+step]
 				if !march {
@@ -374,15 +436,39 @@ func Simulate(prog *workload.Program, ranks, dapDegree int, o Options) Result {
 					if o.PerfectBalance {
 						w = 0
 					}
-					v := w + advance(rngs[0], gpuCompute, cpuExposedStep)
+					gpuC, cpuC := gpuCompute, cpuExposedStep
+					if perturbed {
+						ps := perturbs[g] // gsize == 1: group g IS rank g
+						stall, failed := ps.Step()
+						w += stall
+						st.stall = stall
+						if failed {
+							st.fails = 1
+						}
+						if f := ps.Factor(); f != 1 {
+							gpuC, cpuC = scaleDur(gpuC, f), scaleDur(cpuC, f)
+						}
+					}
+					v := w + advance(rngs[0], gpuC, cpuC)
 					st.max, st.sum = v, v
 					continue
 				}
-				// Per-rank start offset: data pipeline wait.
+				// Per-rank start offset: data pipeline wait, plus any
+				// injected transient stall. Fatal failures are only
+				// recorded here — the whole job restarts, so their cost is
+				// assembled globally in the sequential reduction.
 				for i := range now {
 					w := dataWaits[(base+i)*o.Steps+step]
 					if o.PerfectBalance {
 						w = 0
+					}
+					if perturbed {
+						stall, failed := perturbs[base+i].Step()
+						w += stall
+						st.stall += stall
+						if failed {
+							st.fails++
+						}
 					}
 					now[i] = w
 				}
@@ -392,7 +478,7 @@ func Simulate(prog *workload.Program, ranks, dapDegree int, o Options) Result {
 				for ev := 0; ev < syncEvents; ev++ {
 					var mx time.Duration
 					for i := range now {
-						now[i] += advance(rngs[i], perRankChunk, cpuChunk)
+						now[i] += advance(rngs[i], gpuChunks[i], cpuChunks[i])
 						if now[i] > mx {
 							mx = now[i]
 						}
@@ -405,7 +491,7 @@ func Simulate(prog *workload.Program, ranks, dapDegree int, o Options) Result {
 				// Remaining compute after the last sync.
 				var gmx, gsum time.Duration
 				for i := range now {
-					now[i] += advance(rngs[i], perRankChunk, cpuChunk)
+					now[i] += advance(rngs[i], gpuChunks[i], cpuChunks[i])
 					if now[i] > gmx {
 						gmx = now[i]
 					}
@@ -417,11 +503,14 @@ func Simulate(prog *workload.Program, ranks, dapDegree int, o Options) Result {
 	})
 
 	// --- Sequential reduction: per step, assemble the global all-reduce
-	// barrier and the breakdown from the group contributions.
+	// barrier, the failure/restart accounting and the breakdown from the
+	// group contributions.
 	stepTimes := make([]time.Duration, 0, o.Steps)
 	stepComm := make([]time.Duration, 0, o.Steps)
 	stepData := make([]time.Duration, 0, o.Steps)
-	var total time.Duration
+	var total, useful, stallTotal time.Duration
+	var restarts int
+	restartCost := o.Perturb.RestartCostDur()
 	var bk Breakdown
 	var xferAcc time.Duration
 	if march {
@@ -445,6 +534,7 @@ func Simulate(prog *workload.Program, ranks, dapDegree int, o Options) Result {
 		// Data-parallel gradient all-reduce: global barrier over the
 		// group maxima.
 		var commWaitAcc, mx, sum time.Duration
+		var fails int
 		for g := 0; g < nGroups; g++ {
 			st := &stats[g*o.Steps+step]
 			commWaitAcc += st.comm
@@ -452,13 +542,24 @@ func Simulate(prog *workload.Program, ranks, dapDegree int, o Options) Result {
 				mx = st.max
 			}
 			sum += st.sum
+			fails += st.fails
+			stallTotal += st.stall
 		}
 		drWait := mx - sum/time.Duration(ranks)
 		commWaitAcc += drWait
 		stepEnd := mx + visible
 
-		total += stepEnd
-		stepTimes = append(stepTimes, stepEnd)
+		// A fatal rank failure loses the step: the job pays the failed
+		// attempt, one checkpoint-restart, and the replayed step. Several
+		// ranks failing in one step share a single restart.
+		stepWall := stepEnd
+		if fails > 0 {
+			restarts++
+			stepWall = 2*stepEnd + restartCost
+		}
+		total += stepWall
+		useful += stepEnd
+		stepTimes = append(stepTimes, stepWall)
 		stepComm = append(stepComm, commWaitAcc)
 		bk.CommWait += commWaitAcc
 		bk.CommXfer += xferAcc + arCost
@@ -479,13 +580,35 @@ func Simulate(prog *workload.Program, ranks, dapDegree int, o Options) Result {
 	}
 	bk.CommWaitMedian = stepComm[len(stepComm)/2]
 	bk.DataWaitMedian = stepData[len(stepData)/2]
+	goodput := 1.0
+	if total > 0 {
+		// Unperturbed, useful == total exactly, so this is exactly 1.
+		goodput = float64(useful) / float64(total)
+	}
+	var stallShare float64
+	if perturbed && total > 0 {
+		stallShare = float64(stallTotal) / (float64(ranks) * float64(total))
+	}
 	return Result{
 		MeanStep:     total / n,
 		MedianStep:   stepTimes[len(stepTimes)/2],
+		P99Step:      stepTimes[(len(stepTimes)*99+99)/100-1],
 		Break:        bk,
 		Plan:         plan,
 		GraphCapture: graphCapture,
+		Restarts:     restarts,
+		StallShare:   stallShare,
+		Goodput:      goodput,
 	}
+}
+
+// scaleDur stretches a duration by a straggler slowdown factor, truncating
+// to integer nanoseconds. Factor 1 is exact by construction.
+func scaleDur(d time.Duration, f float64) time.Duration {
+	if f == 1 {
+		return d
+	}
+	return time.Duration(float64(d) * f)
 }
 
 // gcCost is the per-step host stall from Python garbage collection: the

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/model"
+	"repro/internal/perturb"
 	"repro/internal/workload"
 )
 
@@ -45,6 +46,60 @@ func TestSimulateParallelDeterminism(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestSimulatePerturbedDeterminism extends the SimWorkers contract to the
+// perturbation layer: every perturbation kind draws from private per-rank
+// RNG streams, so Results must stay bit-identical at every worker width —
+// on the sync march, on the degree-1 single-chunk path, and under CUDA
+// graphs. Small rank counts keep the matrix inside the -race -short CI
+// job, which audits the sharded draws for data races.
+func TestSimulatePerturbedDeterminism(t *testing.T) {
+	kinds := []struct {
+		name string
+		spec perturb.Spec
+	}{
+		{"stragglers", perturb.Spec{SlowdownProb: 0.2, SlowdownFactor: 3}},
+		{"stalls", perturb.Spec{StallRate: 0.5, StallMean: 2}},
+		{"failures", perturb.Spec{FailProb: 0.05, RestartCost: 60}},
+		{"combined", perturb.Spec{
+			SlowdownProb: 0.1, SlowdownFactor: 2,
+			StallRate: 0.2, StallMean: 1,
+			FailProb: 0.02, RestartCost: 30,
+		}},
+	}
+	shapes := []struct {
+		name  string
+		cen   workload.Options
+		ranks int
+		dapN  int
+		tweak func(*Options)
+	}{
+		{"dap4-march", workload.ScaleFold(4), 32, 4, nil},
+		{"dap4-march-graphed", workload.ScaleFold(4), 32, 4,
+			func(o *Options) { o.CUDAGraph = true; o.NonBlockingPipeline = true }},
+		{"degree1-single-chunk", workload.Baseline(), 16, 1, nil},
+	}
+	for _, k := range kinds {
+		for _, sh := range shapes {
+			t.Run(k.name+"/"+sh.name, func(t *testing.T) {
+				prog := workload.Census(model.FullConfig(), sh.cen)
+				opts := quickOpts(11)
+				opts.Perturb = k.spec
+				if sh.tweak != nil {
+					sh.tweak(&opts)
+				}
+				base := Simulate(prog, sh.ranks, sh.dapN, opts)
+				for _, w := range []int{1, 4, 8} {
+					po := opts
+					po.SimWorkers = w
+					if got := Simulate(prog, sh.ranks, sh.dapN, po); got != base {
+						t.Fatalf("SimWorkers=%d diverged from serial:\n got %+v\nwant %+v", w, got, base)
+					}
+				}
+			})
+		}
 	}
 }
 

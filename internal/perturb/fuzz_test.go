@@ -1,0 +1,76 @@
+package perturb
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzPerturbSpec drives the Spec invariants over the whole float64 input
+// space: Validate never panics and partitions the space into typed errors
+// vs accepted specs; on accepted specs Normalize is idempotent, preserves
+// validity, agrees with IsZero/Enabled, the canonical encoding is a pure
+// function of the normalized value, and the JSON round trip of a
+// normalized spec is a fixed point. The seed corpus under
+// testdata/fuzz/FuzzPerturbSpec keeps the interesting boundary cases (no-op
+// components, domain maxima) in every plain `go test` run.
+func FuzzPerturbSpec(f *testing.F) {
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(0.05, 3.0, 0.5, 2.0, 0.001, 60.0)
+	f.Add(1.0, 1.0, 100.0, 3600.0, 1.0, 86400.0)
+	f.Add(0.9, 0.5, 5.0, 0.0, 0.0, 600.0) // all components no-op
+	f.Add(-1.0, 2.0, 0.0, 0.0, 2.0, -3.0) // out of domain
+	f.Fuzz(func(t *testing.T, sp, sf, sr, sm, fp, rc float64) {
+		s := Spec{
+			SlowdownProb: sp, SlowdownFactor: sf,
+			StallRate: sr, StallMean: sm,
+			FailProb: fp, RestartCost: rc,
+		}
+		err := s.Validate()
+		n := s.Normalize()
+		if n.Normalize() != n {
+			t.Fatalf("Normalize not idempotent: %+v -> %+v", n, n.Normalize())
+		}
+		if n.IsZero() == n.Enabled() {
+			t.Fatalf("IsZero and Enabled agree on %+v", n)
+		}
+		if err != nil {
+			return // rejected input: the invariants below assume validity
+		}
+		if verr := n.Validate(); verr != nil {
+			t.Fatalf("Normalize broke validity: %+v -> %+v: %v", s, n, verr)
+		}
+		if n.Canonical() != s.Canonical() {
+			t.Fatalf("Canonical not normalize-invariant:\n%s\nvs\n%s", n.Canonical(), s.Canonical())
+		}
+		blob, merr := json.Marshal(n)
+		if merr != nil {
+			t.Fatalf("marshal of valid spec failed: %v", merr)
+		}
+		back, perr := ParseJSON(blob)
+		if perr != nil {
+			t.Fatalf("round trip of valid spec rejected: %s: %v", blob, perr)
+		}
+		if back.Normalize() != n {
+			t.Fatalf("JSON round trip moved the spec: %+v -> %s -> %+v", n, blob, back)
+		}
+		if !n.Enabled() {
+			return
+		}
+		// Stream totality and determinism on live specs: draws never
+		// panic, never go negative, and reproduce per (seed, rank).
+		a, b := n.Stream(3, 1), n.Stream(3, 1)
+		if a.Factor() != b.Factor() || a.Factor() < 1 {
+			t.Fatalf("factor broken: %v vs %v", a.Factor(), b.Factor())
+		}
+		for i := 0; i < 4; i++ {
+			s1, f1 := a.Step()
+			s2, f2 := b.Step()
+			if s1 != s2 || f1 != f2 {
+				t.Fatalf("stream not deterministic at step %d", i)
+			}
+			if s1 < 0 {
+				t.Fatalf("negative stall %v", s1)
+			}
+		}
+	})
+}

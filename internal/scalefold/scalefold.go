@@ -140,6 +140,14 @@ func (c StepConfig) simulate() cluster.Result {
 // store hit, else simulate and write through. m, when non-nil, counts how
 // the cell was satisfied. This is the compute function under every memo
 // lookup — the in-memory cache stays the singleflight layer on top.
+//
+// A stored record with Goodput 0 predates the perturbation layer's Result
+// metrics (every simulated Result has Goodput > 0 — it is exactly 1 on a
+// healthy run): its key is still valid (the v3 encoding didn't move), but
+// serving it would print zero goodput/percentiles where a fresh simulation
+// reports real ones. Such records are transparently upgraded — re-simulated
+// (bit-identical legacy fields, by the determinism contract) and
+// overwritten with the full metrics.
 func (c StepConfig) simulateVia(st store.Store[cluster.Result], onErr func(error), m *SweepMetrics) cluster.Result {
 	if st == nil {
 		if m != nil {
@@ -148,7 +156,7 @@ func (c StepConfig) simulateVia(st store.Store[cluster.Result], onErr func(error
 		return c.simulate()
 	}
 	key := c.Fingerprint()
-	if r, ok := st.Get(key); ok {
+	if r, ok := st.Get(key); ok && r.Goodput > 0 {
 		if m != nil {
 			m.StoreHits.Add(1)
 		}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cluster"
+	"repro/internal/perturb"
 	"repro/internal/scenario"
 	"repro/internal/store"
 	"repro/internal/sweep"
@@ -56,6 +57,13 @@ type SweepSpec struct {
 	// their own. Prefer Workers (cell parallelism) for many-cell sweeps;
 	// SimWorkers pays off when a few huge-rank cells dominate.
 	SimWorkers int
+	// Perturb, when non-nil and non-trivial, injects unhealthy-cluster
+	// noise (stragglers, transient stalls, failures + restarts; see
+	// package perturb) into every grid cell, and into explicit Scenarios
+	// that don't carry their own block. Unlike SimWorkers this IS
+	// identity-bearing: perturbed cells fingerprint under the v4 key
+	// generation and never share store records with healthy ones.
+	Perturb *perturb.Spec
 	// Cache memoizes results across Run calls. nil selects the process-wide
 	// cache shared with the figure runners; benchmarks and determinism
 	// tests pass a fresh one to force cold execution.
@@ -167,6 +175,10 @@ func (s SweepSpec) configFor(p sweep.Point) (StepConfig, error) {
 	c.Ablation = ablate
 	c.Steps = s.Steps
 	c.SimWorkers = s.SimWorkers
+	if s.Perturb != nil {
+		cp := *s.Perturb
+		c.Perturb = &cp
+	}
 	c.Seed = sweep.SeedFor(int64(seedIdx), p.Fingerprint())
 	if err := c.Validate(); err != nil {
 		return StepConfig{}, err
@@ -206,6 +218,12 @@ func (s SweepSpec) validate() error {
 		// An execution knob, but a negative value would fail every cell
 		// identically at scenario validation — reject the spec up front.
 		return fmt.Errorf("sweep: sim-workers must be >= 0, got %d", s.SimWorkers)
+	}
+	if s.Perturb != nil {
+		// A bad perturbation spec fails every cell identically too.
+		if err := s.Perturb.Validate(); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
 	}
 	if len(s.Scenarios) > 0 {
 		for i, sc := range s.Scenarios {
@@ -277,6 +295,16 @@ func (s SweepSpec) Run(onProgress func(sweep.Progress)) ([]SweepRow, error) {
 			if n.SimWorkers == 0 {
 				// Spec-level execution knob; a scenario's own setting wins.
 				n.SimWorkers = s.SimWorkers
+			}
+			if n.Perturb == nil && s.Perturb != nil {
+				// Spec-level perturbation; a scenario's own block wins.
+				// Re-normalize so a no-op spec still collapses to nil (and
+				// the cell keeps its v3 identity).
+				cp := *s.Perturb
+				n.Perturb = &cp
+				if n, err = n.Normalize(); err != nil {
+					return nil, fmt.Errorf("sweep: scenarios[%d]: %w", i, err)
+				}
 			}
 			p := scenarioPoint(n)
 			c := StepConfig{Name: p.Fingerprint(), Scenario: n}

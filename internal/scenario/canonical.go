@@ -14,32 +14,58 @@ import (
 	"repro/internal/workload"
 )
 
-// Version is the fingerprint encoding version. Bump it (and update the
-// golden corpus) whenever Canonical's field set, order or formatting
-// changes; see the package comment for the compatibility contract. The v1/v2
-// generations were the pre-scenario `fmt.Sprintf("%+v")` struct dumps, which
-// are recognizably prefix-less and therefore read as legacy keys.
+// Version is the fingerprint encoding version of unperturbed scenarios.
+// Bump it (and update the golden corpus) whenever Canonical's field set,
+// order or formatting changes; see the package comment for the
+// compatibility contract. The v1/v2 generations were the pre-scenario
+// `fmt.Sprintf("%+v")` struct dumps, which are recognizably prefix-less and
+// therefore read as legacy keys.
 const Version = 3
 
-// keyPrefix tags every current-generation fingerprint.
-var keyPrefix = fmt.Sprintf("v%d:", Version)
+// PerturbVersion is the encoding version of scenarios carrying a
+// perturbation block. The v4 generation EXTENDS v3 rather than replacing
+// it: an unperturbed scenario still encodes (and fingerprints)
+// byte-identically to v3, so pre-perturbation stores keep serving healthy
+// cells, while any scenario whose Perturb survives normalization encodes
+// the extra ";perturb{...}" block and mints a "v4:" key. A v3 key can
+// therefore never satisfy a v4 lookup (and vice versa): the prefixes — not
+// just the hashes — differ.
+const PerturbVersion = 4
 
-// IsCurrentKey reports whether a memo/store key was minted by this encoding
-// version. Keys from older generations are legacy: kept in the store's
+// keyPrefix tags unperturbed-generation fingerprints; perturbPrefix tags
+// scenarios with a live perturbation block.
+var (
+	keyPrefix     = fmt.Sprintf("v%d:", Version)
+	perturbPrefix = fmt.Sprintf("v%d:", PerturbVersion)
+)
+
+// IsCurrentKey reports whether a memo/store key was minted by a current
+// encoding generation (v3 for unperturbed scenarios, v4 for perturbed
+// ones). Keys from older generations are legacy: kept in the store's
 // append-only log, counted in store statistics, never matched by lookups.
-func IsCurrentKey(key string) bool { return strings.HasPrefix(key, keyPrefix) }
+func IsCurrentKey(key string) bool {
+	return strings.HasPrefix(key, keyPrefix) || strings.HasPrefix(key, perturbPrefix)
+}
 
 // Fingerprint returns the versioned canonical identity of the scenario:
-// "v3:" + a 128-bit hash of Canonical(). It is the memoization key of the
-// sweep engine and the record key of the persistent result store. Scenarios
-// that normalize equal share a fingerprint; any semantic difference —
-// including the numeric contents of the profiles the scenario references —
-// produces a different one. Unresolvable scenarios are fingerprinted too
-// (from their raw fields) so callers without an error path stay total, but
-// such keys never reach a store: validation rejects the scenario first.
+// "v3:" ("v4:" when a perturbation block is present) + a 128-bit hash of
+// Canonical(). It is the memoization key of the sweep engine and the record
+// key of the persistent result store. Scenarios that normalize equal share
+// a fingerprint; any semantic difference — including the numeric contents
+// of the profiles the scenario references — produces a different one.
+// Unresolvable scenarios are fingerprinted too (from their raw fields) so
+// callers without an error path stay total, but such keys never reach a
+// store: validation rejects the scenario first.
 func (s Scenario) Fingerprint() string {
+	if n, err := s.Normalize(); err == nil {
+		s = n
+	}
+	prefix := keyPrefix
+	if s.Perturb != nil && !s.Perturb.IsZero() {
+		prefix = perturbPrefix
+	}
 	sum := sha256.Sum256([]byte(s.Canonical()))
-	return keyPrefix + hex.EncodeToString(sum[:16])
+	return prefix + hex.EncodeToString(sum[:16])
 }
 
 // Canonical returns the explicit field-by-field encoding of the resolved
@@ -81,6 +107,14 @@ func (s Scenario) Canonical() string {
 	fmt.Fprintf(&b, ";graph=%s;nonblock=%s;gc_off=%s;workers=%d;prefetch=%d;ablate=%s;seed=%d;steps=%d",
 		canonBool(s.CUDAGraph), canonBool(s.NonBlocking), canonBool(s.DisableGC),
 		s.Workers, s.Prefetch, s.Ablation, s.Seed, s.Steps)
+	// The perturbation block is appended ONLY when live (the v4
+	// generation); unperturbed scenarios keep the exact v3 encoding, so
+	// their fingerprints — and every pre-perturbation store key — are
+	// untouched by this layer's existence.
+	if s.Perturb != nil && !s.Perturb.IsZero() {
+		b.WriteString(";")
+		b.WriteString(s.Perturb.Canonical())
+	}
 	return b.String()
 }
 

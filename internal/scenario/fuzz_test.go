@@ -1,0 +1,73 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzScenarioRoundTrip drives the wire-format contract over arbitrary
+// bytes: ParseJSON never panics (invalid input is always a typed error),
+// and for every accepted, valid scenario the decode → Validate →
+// Normalize → re-encode → re-decode loop is a fixed point of the canonical
+// encoding and the versioned fingerprint — the properties the memo cache
+// and the persistent store keys stand on. The seed corpus under
+// testdata/fuzz/FuzzScenarioRoundTrip keeps representative scenarios
+// (grid-style, perturbed v4, alias spellings, rejected shapes) in every
+// plain `go test` run.
+func FuzzScenarioRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"platform":"H100","ranks":256,"dap":2,"census":{"dap":2},"seed":1}`))
+	f.Add([]byte(`{"platform":"a100-selene","ranks":64,"dap":4,"census":{"bf16":true,"dap":4},"cuda_graph":true,"seed":7,"perturb":{"fail_prob":0.001,"restart_cost_s":60}}`))
+	f.Add([]byte(`{"platform":"A100","ranks":128,"dap":1,"census":{"grad_checkpoint":true,"recycles":3},"seed":1,"perturb":{"stall_rate":0.5,"stall_mean_s":2,"slowdown_prob":0.05,"slowdown_factor":3}}`))
+	f.Add([]byte(`{"platform":"TPU","ranks":8,"dap":1,"seed":1}`))
+	f.Add([]byte(`{"platform":"H100","ranks":30,"dap":4,"seed":1}`))
+	f.Add([]byte(`{"platform":"H100","ranks":16,"dap":1,"seed":1,"perturb":{"slowdown_prob":0.9,"slowdown_factor":1}}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseJSON(data)
+		if err != nil {
+			return // rejected input: must not panic, nothing more to hold
+		}
+		if err := s.Validate(); err != nil {
+			return
+		}
+		n, err := s.Normalize()
+		if err != nil {
+			t.Fatalf("validated scenario failed to normalize: %v", err)
+		}
+		if _, err := n.Options(); err != nil {
+			t.Fatalf("validated scenario failed to lower: %v", err)
+		}
+		// Normalize is idempotent on the canonical encoding…
+		if n.Canonical() != s.Canonical() {
+			t.Fatalf("Canonical not normalize-invariant:\n%s\nvs\n%s", n.Canonical(), s.Canonical())
+		}
+		// …and the JSON round trip of the normalized scenario is a fixed
+		// point of encoding, fingerprint and validity.
+		blob, err := json.Marshal(n)
+		if err != nil {
+			t.Fatalf("marshal of valid scenario failed: %v", err)
+		}
+		back, err := ParseJSON(blob)
+		if err != nil {
+			t.Fatalf("round trip of valid scenario rejected: %s: %v", blob, err)
+		}
+		if verr := back.Validate(); verr != nil {
+			t.Fatalf("round trip broke validity: %s: %v", blob, verr)
+		}
+		if back.Canonical() != s.Canonical() {
+			t.Fatalf("round trip moved the canonical encoding:\n%s\nvs\n%s", back.Canonical(), s.Canonical())
+		}
+		if back.Fingerprint() != s.Fingerprint() {
+			t.Fatalf("round trip moved the fingerprint: %s vs %s", back.Fingerprint(), s.Fingerprint())
+		}
+		// The version prefix is a pure function of the normalized perturb
+		// block: live spec ⇒ v4, absent or no-op ⇒ v3.
+		wantV4 := n.Perturb != nil
+		if gotV4 := len(s.Fingerprint()) > 3 && s.Fingerprint()[:3] == "v4:"; gotV4 != wantV4 {
+			t.Fatalf("fingerprint generation %s disagrees with perturb block %v", s.Fingerprint(), n.Perturb)
+		}
+		if !IsCurrentKey(s.Fingerprint()) {
+			t.Fatalf("fingerprint %s not recognized as current", s.Fingerprint())
+		}
+	})
+}

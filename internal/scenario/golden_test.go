@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/perturb"
 	"repro/internal/workload"
 )
 
@@ -52,6 +53,33 @@ func goldenCorpus() []struct {
 			S    Scenario
 		}{"ablate-" + ab, s})
 	}
+	// The v4 generation: scenarios with a live perturbation block. Their
+	// lines pin both the ";perturb{...}" canonical suffix and the "v4:"
+	// key prefix; the "perturb-noop-is-v3" line pins the other half of the
+	// contract — a spec that normalizes to zero leaves the scenario on its
+	// exact v3 encoding and key.
+	withPerturb := func(name string, p perturb.Spec) struct {
+		Name string
+		S    Scenario
+	} {
+		s := fig7ish()
+		s.Perturb = &p
+		return struct {
+			Name string
+			S    Scenario
+		}{name, s}
+	}
+	corpus = append(corpus,
+		withPerturb("perturb-failures", perturb.Spec{FailProb: 0.001, RestartCost: 60}),
+		withPerturb("perturb-stalls", perturb.Spec{StallRate: 0.5, StallMean: 2}),
+		withPerturb("perturb-stragglers", perturb.Spec{SlowdownProb: 0.05, SlowdownFactor: 3}),
+		withPerturb("perturb-full", perturb.Spec{
+			SlowdownProb: 0.02, SlowdownFactor: 2.5,
+			StallRate: 0.1, StallMean: 5,
+			FailProb: 0.0001, RestartCost: 120,
+		}),
+		withPerturb("perturb-noop-is-v3", perturb.Spec{SlowdownProb: 0.5, SlowdownFactor: 1}),
+	)
 	return corpus
 }
 
@@ -64,6 +92,8 @@ func TestGoldenFingerprints(t *testing.T) {
 	var got strings.Builder
 	got.WriteString("# scenario fingerprint golden corpus — encoding version v3\n")
 	got.WriteString("# regenerate deliberately: go test ./internal/scenario -run Golden -update\n")
+	got.WriteString("# v4 extends v3: unperturbed lines are byte-identical to the v3-era corpus,\n")
+	got.WriteString("# perturbed scenarios append a perturb{...} block and mint v4: keys.\n")
 	for _, tc := range goldenCorpus() {
 		fmt.Fprintf(&got, "%s\t%s\t%s\n", tc.Name, tc.S.Fingerprint(), tc.S.Canonical())
 	}

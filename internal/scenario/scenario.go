@@ -12,9 +12,14 @@
 //
 // # Fingerprint compatibility contract
 //
-// Fingerprint returns "v3:" + a hash of Canonical(), an explicit
+// Fingerprint returns a version prefix + a hash of Canonical(), an explicit
 // field-by-field encoding of the fully resolved scenario (profile names
-// resolved to their numeric contents, defaults applied). The contract:
+// resolved to their numeric contents, defaults applied). Two generations
+// are current at once: unperturbed scenarios keep the exact "v3:" encoding
+// (so pre-perturbation stores keep serving healthy cells), while scenarios
+// with a live Perturb block append its canonical encoding and mint "v4:"
+// keys — a v3 key can never satisfy a v4 lookup, the prefixes differ. The
+// contract:
 //
 //   - Two Scenarios with equal Fingerprints simulate identically: every
 //     input of cluster.Simulate is either encoded or a pure derivation of
@@ -37,6 +42,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/perturb"
 	"repro/internal/workload"
 )
 
@@ -88,6 +94,15 @@ type Scenario struct {
 	// scenarios differing only here are the same scenario, the same memo
 	// entry and the same store record.
 	SimWorkers int `json:"sim_workers,omitempty"`
+
+	// Perturb injects unhealthy-cluster noise — persistent per-rank
+	// stragglers, Poisson transient stalls, rank failures with a
+	// checkpoint-restart cost (see package perturb). nil (or a spec that
+	// normalizes to zero — Normalize folds the latter to nil) means a
+	// healthy cluster and keeps the scenario on the unperturbed "v3:"
+	// fingerprint generation; a non-trivial spec is identity-bearing and
+	// moves the fingerprint to the "v4:" generation.
+	Perturb *perturb.Spec `json:"perturb,omitempty"`
 }
 
 // Ablations lists the recognized Scenario.Ablation values: "none" plus one
@@ -161,6 +176,17 @@ func (s Scenario) Normalize() (Scenario, error) {
 	if s.Steps < 1 {
 		s.Steps = defaultSteps
 	}
+	if s.Perturb != nil {
+		// Fold no-op perturbation components to zero; a spec that
+		// normalizes to nothing IS the healthy cluster, so the scenario
+		// drops it and keeps its unperturbed v3 identity.
+		p := s.Perturb.Normalize()
+		if p.IsZero() {
+			s.Perturb = nil
+		} else {
+			s.Perturb = &p
+		}
+	}
 	return s, nil
 }
 
@@ -197,6 +223,11 @@ func (s Scenario) Validate() error {
 	if s.Census.Recycles < 0 {
 		return fmt.Errorf("scenario: census recycles must be >= 0")
 	}
+	if s.Perturb != nil {
+		if err := s.Perturb.Validate(); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -227,6 +258,9 @@ func (s Scenario) Options() (cluster.Options, error) {
 		Seed:                n.Seed,
 		Steps:               n.Steps,
 		SimWorkers:          n.SimWorkers,
+	}
+	if n.Perturb != nil {
+		o.Perturb = *n.Perturb
 	}
 	if n.DisableGC {
 		o.CPU.GCEnabled = false

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/perturb"
 	"repro/internal/workload"
 )
 
@@ -257,5 +258,82 @@ func TestOptionsMatchesClusterDefaults(t *testing.T) {
 	}
 	if o.CPU.GCEnabled {
 		t.Fatal("DisableGC must flip the CPU model's GC switch")
+	}
+}
+
+// TestPerturbFingerprintGenerations pins the conditional-versioning
+// contract of the perturbation layer: an absent or no-op Perturb block
+// leaves the scenario on its exact v3 encoding and key (so every
+// pre-perturbation store keeps serving healthy cells), while a live block
+// appends its canonical encoding and mints a v4 key that can never collide
+// with — or be satisfied by — any v3 record.
+func TestPerturbFingerprintGenerations(t *testing.T) {
+	base := fig7ish()
+	if fp := base.Fingerprint(); !strings.HasPrefix(fp, "v3:") {
+		t.Fatalf("unperturbed fingerprint %q must stay on the v3 generation", fp)
+	}
+
+	// A spec that normalizes to nothing IS the healthy cluster.
+	noop := base
+	noop.Perturb = &perturb.Spec{SlowdownProb: 0.9, SlowdownFactor: 1, RestartCost: 600}
+	if noop.Fingerprint() != base.Fingerprint() {
+		t.Fatalf("no-op perturb moved the key: %s vs %s", noop.Fingerprint(), base.Fingerprint())
+	}
+	if noop.Canonical() != base.Canonical() {
+		t.Fatalf("no-op perturb leaked into the canonical encoding:\n%s\nvs\n%s",
+			noop.Canonical(), base.Canonical())
+	}
+	n, err := noop.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Perturb != nil {
+		t.Fatalf("normalize kept a no-op perturb block: %+v", n.Perturb)
+	}
+
+	// A live spec moves to v4 and encodes the block.
+	live := base
+	live.Perturb = &perturb.Spec{FailProb: 0.001, RestartCost: 60}
+	fp := live.Fingerprint()
+	if !strings.HasPrefix(fp, "v4:") {
+		t.Fatalf("perturbed fingerprint %q must be v4-prefixed", fp)
+	}
+	if !IsCurrentKey(fp) || !IsCurrentKey(base.Fingerprint()) {
+		t.Fatal("both generations must be current keys")
+	}
+	if !strings.Contains(live.Canonical(), ";perturb{") {
+		t.Fatalf("perturbed canonical misses the block:\n%s", live.Canonical())
+	}
+	if fp == base.Fingerprint() {
+		t.Fatal("perturbed and healthy scenarios must never share a key")
+	}
+
+	// Different perturbations are different scenarios.
+	harder := base
+	harder.Perturb = &perturb.Spec{FailProb: 0.01, RestartCost: 60}
+	if harder.Fingerprint() == fp {
+		t.Fatal("distinct failure rates collapsed to one key")
+	}
+
+	// And the block survives the wire format.
+	blob, err := json.Marshal(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseJSON(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != fp {
+		t.Fatalf("wire round trip moved the v4 key: %s vs %s", back.Fingerprint(), fp)
+	}
+
+	// Lowering carries the spec into the simulator options.
+	o, err := live.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Perturb.Enabled() || o.Perturb.FailProb != 0.001 {
+		t.Fatalf("perturb did not lower into cluster.Options: %+v", o.Perturb)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/dataset"
 	"repro/internal/gpu"
+	"repro/internal/perturb"
 	"repro/internal/workload"
 )
 
@@ -32,6 +33,12 @@ var pinnedSchema = map[string][]string{
 		// in package cluster), so it stays outside Canonical — no Version
 		// bump. TestFingerprintExcludesSimWorkers pins the exclusion.
 		"SimWorkers int",
+		// Perturb is encoded ONLY when live: nil (or a spec normalizing to
+		// zero) keeps the exact v3 encoding and key, a live spec appends
+		// its canonical block and moves the key to the v4 generation —
+		// that conditional versioning IS the contract, pinned by
+		// TestPerturbFingerprintGenerations and the golden corpus.
+		"Perturb *perturb.Spec",
 	},
 	"workload.Options": {
 		"FusedMHA bool", "FusedLN bool", "FusedAdamSWA bool",
@@ -56,6 +63,11 @@ var pinnedSchema = map[string][]string{
 		"Base float64", "PerResidue float64", "PerMSARow float64",
 		"JitterSigma float64", "HeavyTailProb float64", "HeavyTailScale float64",
 	},
+	"perturb.Spec": {
+		"SlowdownProb float64", "SlowdownFactor float64",
+		"StallRate float64", "StallMean float64",
+		"FailProb float64", "RestartCost float64",
+	},
 }
 
 func fieldsOf(v any) []string {
@@ -76,6 +88,7 @@ func TestFingerprintSchemaPinned(t *testing.T) {
 		"comm.Topology":         comm.Topology{},
 		"gpu.CPUModel":          gpu.CPUModel{},
 		"dataset.PrepTimeModel": dataset.PrepTimeModel{},
+		"perturb.Spec":          perturb.Spec{},
 	} {
 		got := fieldsOf(v)
 		want := pinnedSchema[name]

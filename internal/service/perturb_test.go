@@ -1,0 +1,159 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/perturb"
+	"repro/internal/scenario"
+	"repro/internal/store"
+)
+
+func perturbedTiny(failProb float64) scenario.Scenario {
+	sc := tinyScenario("")
+	sc.Perturb = &perturb.Spec{FailProb: failProb, RestartCost: 30}
+	return sc
+}
+
+// TestStoreReloadV3KeysNeverMatchV4Lookups pins the versioned-out contract
+// across a store reload: a directory holding v3 records of healthy
+// scenarios plus a pre-v3 legacy dump reopens with the legacy key counted
+// in legacy_keys (never served), a current-schema v3 record still serving
+// its healthy scenario, a pre-perturbation-schema v3 record (no Goodput)
+// transparently upgraded instead of served stale, and a v4 (perturbed)
+// lookup of the SAME underlying scenario simulating fresh — a v3 key must
+// never satisfy a v4 lookup, however close the descriptors are.
+func TestStoreReloadV3KeysNeverMatchV4Lookups(t *testing.T) {
+	dir := t.TempDir()
+	healthy, oldSchema, perturbed := tinyScenario(""), tinyScenario("zero-launch"), perturbedTiny(0.5)
+	if !strings.HasPrefix(healthy.Fingerprint(), "v3:") || !strings.HasPrefix(perturbed.Fingerprint(), "v4:") {
+		t.Fatalf("generation prefixes drifted: %s / %s", healthy.Fingerprint(), perturbed.Fingerprint())
+	}
+
+	// Era 1: a store holding one truly legacy (prefix-less, pre-v3) dump,
+	// one current-schema healthy v3 record (Goodput 1: written by a
+	// perturbation-aware build; the poison MeanStep is visible in any row
+	// it serves), and one pre-perturbation-schema v3 record — Goodput 0,
+	// as every record written before the Result gained its metrics decodes.
+	pre, err := store.OpenDisk[cluster.Result](dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pre.Put("census{...}|ranks=32|legacy-dump", cluster.Result{MeanStep: 424242}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pre.Put(healthy.Fingerprint(), cluster.Result{MeanStep: 777777, Goodput: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pre.Put(oldSchema.Fingerprint(), cluster.Result{MeanStep: 555555}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pre.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Era 2: the store reloads under a server; the perturbed job must
+	// simulate — its v4 key has no record — while the healthy job is
+	// served from the era-1 v3 record without simulating.
+	_, client, stop := newTestServer(t, Config{Workers: 2, StoreDir: dir})
+	defer stop()
+
+	st, err := client.Submit(JobSpec{Scenarios: []scenario.Scenario{perturbed}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done := collectRows(t, client, st.ID); done.Simulated != 1 || done.StoreHits != 0 {
+		t.Fatalf("v4 lookup must miss every v3/legacy record: %+v", done)
+	}
+
+	st2, err := client.Submit(JobSpec{Scenarios: []scenario.Scenario{healthy}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, done2 := collectRows(t, client, st2.ID)
+	if done2.Simulated != 0 || done2.StoreHits != 1 {
+		t.Fatalf("healthy scenario must still be served by its era-1 v3 record: %+v", done2)
+	}
+	// …and it really is the stored record (the poison mean), not a fresh
+	// simulation that happened to land on the same key.
+	if got := rows[0].Data["mean_step_s"]; got != "0.000778" {
+		t.Fatalf("healthy row mean %q, want the stored v3 record's 777777ns", got)
+	}
+
+	// The pre-perturbation-schema record must NOT be served (its zero
+	// goodput/percentiles would poison resilience output): the first
+	// lookup upgrades it — re-simulates and overwrites — after which it
+	// serves normally.
+	for round, want := range []struct{ sim, hit int64 }{{1, 0}, {0, 1}} {
+		st3, err := client.Submit(JobSpec{Scenarios: []scenario.Scenario{oldSchema}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows3, done3 := collectRows(t, client, st3.ID)
+		if done3.Simulated != want.sim || done3.StoreHits != want.hit {
+			t.Fatalf("old-schema round %d: %+v, want simulated=%d store_hits=%d",
+				round, done3, want.sim, want.hit)
+		}
+		if got := rows3[0].Data["mean_step_s"]; got == "0.000556" {
+			t.Fatalf("old-schema round %d served the stale 555555ns record", round)
+		}
+	}
+
+	status, err := client.StoreStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 keys total: legacy dump + two v3 records + fresh v4 record; only
+	// the prefix-less dump is legacy.
+	if status.Keys != 4 || status.LegacyKeys != 1 {
+		t.Fatalf("store status %+v, want 4 keys with 1 legacy", status)
+	}
+}
+
+// TestPerturbedJobSpecRunsAndKeysV4 pins the wire plumbing: a job-level
+// "perturb" block applies to grid-style and explicit cells, lands v4 store
+// keys, and an invalid spec is refused with HTTP 400 at submission.
+func TestPerturbedJobSpecRunsAndKeysV4(t *testing.T) {
+	srv, client, stop := newTestServer(t, Config{Workers: 2})
+	defer stop()
+
+	spec := JobSpec{
+		Scenarios: []scenario.Scenario{tinyScenario("")},
+		Perturb:   &perturb.Spec{StallRate: 0.5, StallMean: 1},
+	}
+	st, err := client.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done := collectRows(t, client, st.ID); done.State != StateDone || done.Simulated != 1 {
+		t.Fatalf("perturbed job ended %+v", done)
+	}
+	keys := srv.Store().Keys()
+	if len(keys) != 1 || !strings.HasPrefix(keys[0], "v4:") {
+		t.Fatalf("perturbed cell must key under v4, got %v", keys)
+	}
+
+	// A scenario carrying its own block wins over the job-level one: the
+	// same submission with a per-scenario spec lands a different v4 key.
+	own := JobSpec{Scenarios: []scenario.Scenario{perturbedTiny(0.25)}, Perturb: &perturb.Spec{StallRate: 0.5, StallMean: 1}}
+	st2, err := client.Submit(own)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done := collectRows(t, client, st2.ID); done.Simulated != 1 {
+		t.Fatalf("own-block job ended %+v", done)
+	}
+	if got := len(srv.Store().Keys()); got != 2 {
+		t.Fatalf("distinct perturbations must land distinct keys, store has %d", got)
+	}
+
+	for name, bad := range map[string]JobSpec{
+		"job-level out of domain":    {Perturb: &perturb.Spec{FailProb: 40}},
+		"per-scenario out of domain": {Scenarios: []scenario.Scenario{perturbedTiny(7)}},
+	} {
+		if _, err := client.Submit(bad); err == nil || !strings.Contains(err.Error(), "HTTP 400") {
+			t.Fatalf("%s: want HTTP 400, got %v", name, err)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package service
 import (
 	"time"
 
+	"repro/internal/perturb"
 	"repro/internal/scalefold"
 	"repro/internal/scenario"
 )
@@ -36,6 +37,12 @@ type JobSpec struct {
 	// clamps it so cell-parallelism × intra-cell shards never exceeds its
 	// worker pool — like Workers, it can only narrow the server limit.
 	SimWorkers int `json:"sim_workers,omitempty"`
+	// Perturb injects unhealthy-cluster noise (stragglers, transient
+	// stalls, failures + checkpoint-restarts; see the perturb JSON schema
+	// in docs/cli.md) into every grid cell, and into explicit scenarios
+	// that don't carry their own "perturb" block. Identity-bearing:
+	// perturbed cells key under the v4 fingerprint generation.
+	Perturb *perturb.Spec `json:"perturb,omitempty"`
 	// Scenarios lists explicit cells in the canonical Scenario JSON schema
 	// (see docs/cli.md); non-empty Scenarios supersede the axis fields.
 	Scenarios []scenario.Scenario `json:"scenarios,omitempty"`
@@ -82,6 +89,7 @@ func (js JobSpec) sweepSpec() scalefold.SweepSpec {
 		Seeds:      js.Seeds,
 		Steps:      js.Steps,
 		SimWorkers: js.SimWorkers,
+		Perturb:    js.Perturb,
 		Scenarios:  js.Scenarios,
 	}
 }

@@ -30,8 +30,9 @@ type record struct {
 // detects and drops (see Dropped).
 //
 // Values round-trip through encoding/json, so R must marshal losslessly
-// (cluster.Result does: every field is an integer count or a nanosecond
-// time.Duration). All methods are safe for concurrent use.
+// (cluster.Result does: integer counts, nanosecond time.Durations, and
+// float64 shares/ratios, which Go's JSON encoder emits with shortest
+// round-trip precision). All methods are safe for concurrent use.
 type Disk[R any] struct {
 	// SegmentBytes is the rotation threshold (default DefaultSegmentBytes).
 	// Set it before the first Put; it is read under the store lock.
