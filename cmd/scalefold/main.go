@@ -15,6 +15,7 @@
 //	scalefold sweep    parallel scenario sweep over axis flags (see -h)
 //	scalefold resilience  goodput-vs-failure-rate sweep (perturbation layer)
 //	scalefold serve    long-running sweep server: HTTP job queue + store
+//	scalefold worker   sweep-fabric worker: claim cells from a coordinator
 //	scalefold submit   submit a sweep job to a running server
 //	scalefold jobs     list, inspect or cancel server jobs
 //	scalefold help     full command reference (docs/cli.md, embedded)
@@ -40,6 +41,7 @@ import (
 
 	"repro/docs"
 	"repro/internal/cluster"
+	"repro/internal/fabric"
 	"repro/internal/perturb"
 	"repro/internal/pipeline"
 	"repro/internal/scalefold"
@@ -76,6 +78,9 @@ func main() {
 		return
 	case "serve":
 		serveCmd(os.Args[2:])
+		return
+	case "worker":
+		workerCmd(os.Args[2:])
 		return
 	case "submit":
 		submitCmd(os.Args[2:])
@@ -464,14 +469,20 @@ func serveCmd(args []string) {
 	workers := fs.Int("workers", 0, "shared simulation worker pool across all jobs (0 = GOMAXPROCS)")
 	jobs := fs.Int("jobs", 2, "jobs executing concurrently (they share the worker pool)")
 	queue := fs.Int("queue", 64, "queued-job limit before submissions are refused with 503")
+	fabricMode := fs.Bool("fabric", false, "coordinator mode: dispatch cells to `scalefold worker` fleet instead of simulating in-process")
+	heartbeat := fs.Duration("heartbeat", 2*time.Second, "fabric worker heartbeat interval (workers are lost after 3 missed beats)")
 	fs.Parse(args)
 
-	srv, err := service.New(service.Config{
+	cfg := service.Config{
 		StoreDir:      *storeDir,
 		Workers:       *workers,
 		MaxActiveJobs: *jobs,
 		QueueLimit:    *queue,
-	})
+	}
+	if *fabricMode {
+		cfg.Fabric = &fabric.Config{HeartbeatInterval: *heartbeat}
+	}
+	srv, err := service.New(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 		os.Exit(2)
@@ -484,6 +495,9 @@ func serveCmd(args []string) {
 	storeNote := "in-memory store"
 	if *storeDir != "" {
 		storeNote = fmt.Sprintf("store %q (%d results)", *storeDir, srv.Store().Len())
+	}
+	if *fabricMode {
+		storeNote += " — coordinator mode (point `scalefold worker -server` here)"
 	}
 	fmt.Fprintf(os.Stderr, "scalefold serve: listening on http://%s — %s\n", ln.Addr(), storeNote)
 
@@ -509,6 +523,59 @@ func serveCmd(args []string) {
 	if err := hs.Shutdown(sctx); err != nil {
 		hs.Close()
 	}
+}
+
+// workerCmd is the fleet side of the sweep fabric: register with a
+// coordinator-mode server, claim cell batches, simulate them, report results.
+// With -store, results are shared through a multi-writer directory
+// (store.OpenShared) so co-located workers serve each other's finished cells
+// without re-simulating.
+func workerCmd(args []string) {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:8823", "coordinator base URL (`scalefold serve -fabric`)")
+	name := fs.String("name", "", `worker label in fleet listings ("" = hostname-pid)`)
+	storeDir := fs.String("store", "", `shared result-store directory ("" = this worker memoizes alone)`)
+	poll := fs.Duration("poll", 200*time.Millisecond, "idle claim interval and transport-retry backoff")
+	fs.Parse(args)
+
+	if *name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	w := &fabric.Worker{Base: *server, Name: *name, Poll: *poll}
+	w.OnStoreErr = func(err error) { fmt.Fprintf(os.Stderr, "worker: store: %v\n", err) }
+	if *storeDir != "" {
+		// The lease owner must be path-safe and unique per live process;
+		// the default hostname-pid name is both, but -name is free-form, so
+		// lease under a sanitized copy.
+		owner := strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+				r == '.', r == '_', r == '-':
+				return r
+			}
+			return '_'
+		}, *name)
+		ss, err := store.OpenShared[cluster.Result](*storeDir, owner)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "worker: %v\n", err)
+			os.Exit(2)
+		}
+		defer ss.Close()
+		w.Store = ss
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "scalefold worker %q: claiming from %s\n", *name, *server)
+	if err := w.Run(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "worker: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "scalefold worker %q: stopped after %d cells (%d rejected)\n",
+		*name, w.Completed(), w.Rejected())
 }
 
 func submitCmd(args []string) {

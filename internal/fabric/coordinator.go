@@ -1,0 +1,432 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/scalefold"
+	"repro/internal/store"
+)
+
+// ErrClosed reports dispatch attempted on a closed coordinator.
+var ErrClosed = errors.New("fabric: coordinator closed")
+
+// ErrUnknownWorker reports a claim or heartbeat from a worker ID the
+// coordinator does not know — never registered, expired for missed
+// heartbeats, or from before a coordinator restart. The worker's recovery
+// is to re-register.
+var ErrUnknownWorker = errors.New("fabric: unknown worker")
+
+// task is one fingerprint-identified cell moving through the coordinator:
+// pending (queued), assigned (claimed by a worker), or settled (done=true,
+// at which point it leaves the map — the shared store is the durable memo).
+type task struct {
+	key      string
+	cfg      scalefold.StepConfig
+	assigned string // worker ID; "" while pending
+	retries  int
+	waiters  int
+	done     bool
+	res      cluster.Result
+	err      error
+	doneCh   chan struct{}
+}
+
+// workerState is the coordinator's view of one registered worker.
+type workerState struct {
+	id        string
+	name      string
+	lastBeat  time.Time
+	inflight  map[string]*task
+	completed int64
+}
+
+// Coordinator owns the dispatch state of the sweep fabric: the fleet
+// registry, the fingerprint-deduplicated task queue, and the shared result
+// store it settles completed cells into. All methods are safe for concurrent
+// use. Create with NewCoordinator; Close fails outstanding dispatches.
+type Coordinator struct {
+	cfg Config
+	st  store.Store[cluster.Result] // shared result store; may be nil
+
+	mu      sync.Mutex
+	seq     int
+	workers map[string]*workerState
+	tasks   map[string]*task // by fingerprint; live (unsettled) tasks only
+	queue   []*task          // pending tasks, FIFO with retry priority
+	closed  bool
+
+	completed  int64
+	reassigned int64
+	rejected   int64
+	lost       int64
+
+	stopExpiry chan struct{}
+}
+
+// NewCoordinator returns a running coordinator settling results into st
+// (which may be nil: results then live only in the completing job's memo).
+// Unless cfg.Now is set, a background loop sweeps for lost workers every
+// half heartbeat-timeout; with cfg.Now set, expiry runs only inside
+// coordinator calls and explicit ExpireNow — deterministic for tests.
+func NewCoordinator(cfg Config, st store.Store[cluster.Result]) *Coordinator {
+	c := &Coordinator{
+		cfg:        cfg.withDefaults(),
+		st:         st,
+		workers:    map[string]*workerState{},
+		tasks:      map[string]*task{},
+		stopExpiry: make(chan struct{}),
+	}
+	if c.cfg.Now == nil {
+		c.cfg.Now = time.Now
+		go func() {
+			t := time.NewTicker(c.cfg.HeartbeatTimeout / 2)
+			defer t.Stop()
+			for {
+				select {
+				case <-c.stopExpiry:
+					return
+				case <-t.C:
+					c.ExpireNow()
+				}
+			}
+		}()
+	}
+	return c
+}
+
+// Close fails every outstanding task and dispatch with ErrClosed, forgets
+// the fleet and stops the expiry loop. Safe to call once; later Execute,
+// Claim and Complete calls are refused.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	close(c.stopExpiry)
+	for key, t := range c.tasks {
+		t.done, t.err = true, ErrClosed
+		close(t.doneCh)
+		delete(c.tasks, key)
+	}
+	c.queue = nil
+	c.workers = map[string]*workerState{}
+	c.mu.Unlock()
+}
+
+// RegisterWorker admits a worker to the fleet and returns its identity plus
+// the protocol parameters it should run with.
+func (c *Coordinator) RegisterWorker(name string) (RegisterResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return RegisterResponse{}, ErrClosed
+	}
+	c.expireLocked(c.cfg.Now())
+	c.seq++
+	w := &workerState{
+		id:       fmt.Sprintf("w-%06d", c.seq),
+		name:     name,
+		lastBeat: c.cfg.Now(),
+		inflight: map[string]*task{},
+	}
+	c.workers[w.id] = w
+	return RegisterResponse{
+		WorkerID:               w.id,
+		HeartbeatMillis:        c.cfg.HeartbeatInterval.Milliseconds(),
+		HeartbeatTimeoutMillis: c.cfg.HeartbeatTimeout.Milliseconds(),
+		BatchSize:              c.cfg.BatchSize,
+	}, nil
+}
+
+// Heartbeat records worker liveness. ErrUnknownWorker tells the worker to
+// re-register.
+func (c *Coordinator) Heartbeat(workerID string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	c.expireLocked(c.cfg.Now())
+	w, ok := c.workers[workerID]
+	if !ok {
+		return ErrUnknownWorker
+	}
+	w.lastBeat = c.cfg.Now()
+	return nil
+}
+
+// Claim hands the worker up to max pending cells (capped at the configured
+// BatchSize; max <= 0 means BatchSize). Cells whose rendezvous-hashed home
+// is the claimant are preferred — steady fleets get stable fingerprint
+// partitioning — and the queue head fills the rest, so idle workers steal
+// rather than starve. A claim counts as a heartbeat.
+func (c *Coordinator) Claim(workerID string, max int) ([]Cell, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	c.expireLocked(c.cfg.Now())
+	w, ok := c.workers[workerID]
+	if !ok {
+		return nil, ErrUnknownWorker
+	}
+	w.lastBeat = c.cfg.Now()
+	if max <= 0 || max > c.cfg.BatchSize {
+		max = c.cfg.BatchSize
+	}
+	var picked []*task
+	// Pass 1: cells homed on this worker by rendezvous hash.
+	if len(c.workers) > 1 {
+		for _, t := range c.queue {
+			if len(picked) >= max {
+				break
+			}
+			if c.homeLocked(t.key) == workerID {
+				picked = append(picked, t)
+			}
+		}
+	}
+	// Pass 2: fill from the queue head (oldest first).
+	for _, t := range c.queue {
+		if len(picked) >= max {
+			break
+		}
+		already := false
+		for _, p := range picked {
+			if p == t {
+				already = true
+				break
+			}
+		}
+		if !already {
+			picked = append(picked, t)
+		}
+	}
+	if len(picked) == 0 {
+		return nil, nil
+	}
+	rest := c.queue[:0]
+	for _, t := range c.queue {
+		keep := true
+		for _, p := range picked {
+			if p == t {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			rest = append(rest, t)
+		}
+	}
+	c.queue = rest
+	cells := make([]Cell, len(picked))
+	for i, t := range picked {
+		t.assigned = workerID
+		w.inflight[t.key] = t
+		cells[i] = Cell{Key: t.key, Name: t.cfg.Name, Scenario: t.cfg.Scenario}
+	}
+	return cells, nil
+}
+
+// homeLocked returns the live worker that rendezvous-hashes highest for the
+// key — the cell's stable home while the fleet is steady.
+func (c *Coordinator) homeLocked(key string) string {
+	var best string
+	var bestScore uint64
+	for id := range c.workers {
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		h.Write([]byte{0})
+		h.Write([]byte(id))
+		if s := h.Sum64(); best == "" || s > bestScore || (s == bestScore && id < best) {
+			best, bestScore = id, s
+		}
+	}
+	return best
+}
+
+// Complete settles one claimed cell. Rejections are idempotent and mutate
+// nothing: an unknown or expired worker (its cells were reassigned), a cell
+// the coordinator no longer tracks (already settled by the reassigned run),
+// or a cell tracked but assigned elsewhere all report Accepted=false. A
+// worker-reported execution error (req-style Err) requeues the cell against
+// its retry budget.
+func (c *Coordinator) Complete(workerID, key string, res cluster.Result, workerErr string) CompleteResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return CompleteResponse{Accepted: false, Reason: "coordinator closed"}
+	}
+	c.expireLocked(c.cfg.Now())
+	w, ok := c.workers[workerID]
+	if !ok {
+		c.rejected++
+		return CompleteResponse{Accepted: false, Reason: "unknown or expired worker (cell reassigned)"}
+	}
+	w.lastBeat = c.cfg.Now()
+	t, ok := c.tasks[key]
+	if !ok {
+		c.rejected++
+		return CompleteResponse{Accepted: false, Reason: "cell already settled"}
+	}
+	if t.assigned != workerID {
+		c.rejected++
+		return CompleteResponse{Accepted: false, Reason: "cell reassigned to another worker"}
+	}
+	delete(w.inflight, key)
+	if workerErr != "" {
+		c.requeueLocked(t, fmt.Errorf("fabric: worker %s failed cell %s: %s", workerID, key, workerErr))
+		return CompleteResponse{Accepted: true, Reason: "requeued after worker-reported error"}
+	}
+	w.completed++
+	c.completed++
+	c.settleLocked(t, res)
+	return CompleteResponse{Accepted: true}
+}
+
+// settleLocked finishes a task with its result: write-through to the shared
+// store (skipped when the store already holds the key — workers sharing the
+// store have usually written it already), wake every waiter, and drop the
+// task from the live map.
+func (c *Coordinator) settleLocked(t *task, res cluster.Result) {
+	if c.st != nil {
+		if _, ok := c.st.Get(t.key); !ok {
+			c.st.Put(t.key, res) // best-effort: waiters get res regardless
+		}
+	}
+	t.done, t.res = true, res
+	close(t.doneCh)
+	delete(c.tasks, t.key)
+}
+
+// requeueLocked returns a lost or failed task to the queue head, failing it
+// (and every job waiting on it) once the retry budget is exhausted.
+func (c *Coordinator) requeueLocked(t *task, cause error) {
+	t.assigned = ""
+	t.retries++
+	if t.retries > c.cfg.MaxRetries {
+		t.done = true
+		t.err = fmt.Errorf("fabric: cell %s failed %d times, retry budget exhausted: %w", t.key, t.retries, cause)
+		close(t.doneCh)
+		delete(c.tasks, t.key)
+		return
+	}
+	c.reassigned++
+	c.queue = append([]*task{t}, c.queue...)
+}
+
+// ExpireNow runs loss detection immediately: workers silent past the
+// heartbeat timeout are dropped and their in-flight cells requeued.
+func (c *Coordinator) ExpireNow() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.expireLocked(c.cfg.Now())
+	}
+}
+
+func (c *Coordinator) expireLocked(now time.Time) {
+	for id, w := range c.workers {
+		if now.Sub(w.lastBeat) <= c.cfg.HeartbeatTimeout {
+			continue
+		}
+		delete(c.workers, id)
+		c.lost++
+		for _, t := range w.inflight {
+			c.requeueLocked(t, fmt.Errorf("fabric: worker %s (%s) lost: no heartbeat for %v", id, w.name, now.Sub(w.lastBeat)))
+		}
+	}
+}
+
+// Execute dispatches one cell to the worker fleet and blocks until a worker
+// settles it, the retry budget is exhausted, the coordinator closes, or ctx
+// is cancelled. Concurrent Executes of the same fingerprint share one task
+// (fabric-level singleflight), and a cell already in the shared store is
+// served without dispatch.
+func (c *Coordinator) Execute(ctx context.Context, cfg scalefold.StepConfig) (cluster.Result, error) {
+	key := cfg.Fingerprint()
+	if c.st != nil {
+		if r, ok := c.st.Get(key); ok && r.Goodput > 0 {
+			return r, nil
+		}
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return cluster.Result{}, ErrClosed
+	}
+	c.expireLocked(c.cfg.Now())
+	t, ok := c.tasks[key]
+	if !ok {
+		t = &task{key: key, cfg: cfg, doneCh: make(chan struct{})}
+		c.tasks[key] = t
+		c.queue = append(c.queue, t)
+	}
+	t.waiters++
+	c.mu.Unlock()
+
+	select {
+	case <-t.doneCh:
+		c.mu.Lock()
+		t.waiters--
+		c.mu.Unlock()
+		return t.res, t.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		t.waiters--
+		// Nobody else wants the cell and no worker holds it: withdraw it so
+		// the fleet doesn't burn work on a fully cancelled job. An assigned
+		// cell is left to finish — its result still lands in the store.
+		if t.waiters == 0 && !t.done && t.assigned == "" {
+			delete(c.tasks, key)
+			rest := c.queue[:0]
+			for _, q := range c.queue {
+				if q != t {
+					rest = append(rest, q)
+				}
+			}
+			c.queue = rest
+		}
+		c.mu.Unlock()
+		return cluster.Result{}, ctx.Err()
+	}
+}
+
+// Fleet snapshots the coordinator for GET /v1/workers.
+func (c *Coordinator) Fleet() FleetStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.expireLocked(c.cfg.Now())
+	}
+	fs := FleetStatus{
+		Pending:    len(c.queue),
+		Completed:  c.completed,
+		Reassigned: c.reassigned,
+		Rejected:   c.rejected,
+		Lost:       c.lost,
+	}
+	for _, w := range c.workers {
+		fs.Inflight += len(w.inflight)
+		fs.Workers = append(fs.Workers, WorkerStatus{
+			ID: w.id, Name: w.name, LastBeat: w.lastBeat,
+			Inflight: len(w.inflight), Completed: w.completed,
+		})
+	}
+	// Stable listing order for tests and operators.
+	for i := 1; i < len(fs.Workers); i++ {
+		for j := i; j > 0 && fs.Workers[j-1].ID > fs.Workers[j].ID; j-- {
+			fs.Workers[j-1], fs.Workers[j] = fs.Workers[j], fs.Workers[j-1]
+		}
+	}
+	return fs
+}

@@ -172,6 +172,15 @@ func (c StepConfig) simulateVia(st store.Store[cluster.Result], onErr func(error
 	return r
 }
 
+// RunVia resolves the configuration against an explicit store — store hit,
+// else simulate and write through — without touching the process-wide memo
+// cache. Fabric workers execute claimed cells with it: the shared result
+// store IS their memo, so a cell finished by any worker is a hit for every
+// worker, and the Simulations counter reflects actual simulator runs only.
+func (c StepConfig) RunVia(st store.Store[cluster.Result], onErr func(error), m *SweepMetrics) cluster.Result {
+	return c.simulateVia(st, onErr, m)
+}
+
 // Run simulates the configuration and returns the cluster result, memoized
 // by Fingerprint and backed by the attached persistent store, if any.
 func (c StepConfig) Run() cluster.Result {

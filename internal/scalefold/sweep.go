@@ -3,6 +3,7 @@ package scalefold
 import (
 	"fmt"
 	"strconv"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/cluster"
@@ -89,6 +90,15 @@ type SweepSpec struct {
 	// cancelled jobs quickly by skipping the run (the cell then reports a
 	// zero Result, which is never persisted).
 	Gate func(run func())
+	// Runner, when non-nil, replaces local simulation for cells the store
+	// cannot satisfy: the fabric coordinator dispatches each such cell to a
+	// registered worker and returns its result (byte-identical to a local
+	// run — results round-trip losslessly). The memo cache and the store
+	// fast path still apply in front of it. A Runner error (worker fleet
+	// lost the cell beyond the retry budget, or dispatch was cancelled)
+	// fails the whole sweep: Run returns the first one after the engine
+	// drains, with the affected rows carrying zero Results.
+	Runner func(c StepConfig) (cluster.Result, error)
 }
 
 // SweepMetrics counts how the cells of a Run were satisfied. All fields are
@@ -97,6 +107,7 @@ type SweepMetrics struct {
 	Simulated atomic.Int64 // ran the simulator
 	StoreHits atomic.Int64 // served from the persistent store
 	MemoHits  atomic.Int64 // settled by the in-memory memo (incl. singleflight waits)
+	Remote    atomic.Int64 // dispatched to a fabric worker (SweepSpec.Runner)
 }
 
 // DefaultSweepSpec is the out-of-the-box exploration grid: the optimized
@@ -346,12 +357,40 @@ func (s SweepSpec) Run(onProgress func(sweep.Progress)) ([]SweepRow, error) {
 			onErr = attachedErr
 		}
 	}
+	var runnerMu sync.Mutex
+	var runnerErr error
+	body := func(c StepConfig) cluster.Result { return c.simulateVia(st, onErr, s.Metrics) }
+	if s.Runner != nil {
+		body = func(c StepConfig) cluster.Result {
+			if st != nil {
+				if r, ok := st.Get(c.Fingerprint()); ok && r.Goodput > 0 {
+					if s.Metrics != nil {
+						s.Metrics.StoreHits.Add(1)
+					}
+					return r
+				}
+			}
+			r, err := s.Runner(c)
+			if err != nil {
+				runnerMu.Lock()
+				if runnerErr == nil {
+					runnerErr = err
+				}
+				runnerMu.Unlock()
+				return cluster.Result{}
+			}
+			if s.Metrics != nil {
+				s.Metrics.Remote.Add(1)
+			}
+			return r
+		}
+	}
 	run := func(c StepConfig) cluster.Result {
 		if s.Gate == nil {
-			return c.simulateVia(st, onErr, s.Metrics)
+			return body(c)
 		}
 		var r cluster.Result
-		s.Gate(func() { r = c.simulateVia(st, onErr, s.Metrics) })
+		s.Gate(func() { r = body(c) })
 		return r
 	}
 	cache := s.Cache
@@ -380,6 +419,9 @@ func (s SweepSpec) Run(onProgress func(sweep.Progress)) ([]SweepRow, error) {
 	results := eng.Run(cells, run)
 	for i, r := range results {
 		rows[cellRow[i]].Res = r
+	}
+	if runnerErr != nil {
+		return rows, runnerErr
 	}
 	return rows, nil
 }

@@ -16,6 +16,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /v1/store", s.handleStore)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	if s.coord != nil {
+		s.coord.Mount(mux) // /v1/workers fleet protocol (coordinator mode)
+	}
 	return mux
 }
 

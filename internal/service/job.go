@@ -21,6 +21,11 @@ type job struct {
 	metrics   scalefold.SweepMetrics
 	cancelled atomic.Bool
 
+	// stop, when set (by runJob, before dispatch starts), is fired on cancel
+	// to abort remote waits — cells parked in fabric Execute calls — that the
+	// drain gate alone cannot unblock. Guarded by mu; fired outside it.
+	stop atomic.Pointer[func()]
+
 	mu       sync.Mutex
 	state    string
 	started  *time.Time
@@ -58,6 +63,9 @@ func (j *job) start() {
 // the scheduler's later pass over an already-settled queued job is a no-op.
 func (j *job) cancel() {
 	j.cancelled.Store(true)
+	if stop := j.stop.Load(); stop != nil {
+		(*stop)()
+	}
 	j.mu.Lock()
 	if j.state == StateQueued {
 		j.finalizeLocked(StateCancelled, nil)
@@ -121,6 +129,7 @@ func (j *job) finalizeLocked(state string, err error) {
 		Simulated: j.metrics.Simulated.Load(),
 		StoreHits: j.metrics.StoreHits.Load(),
 		MemoHits:  j.metrics.MemoHits.Load(),
+		Remote:    j.metrics.Remote.Load(),
 		Error:     j.err,
 	}
 	line, _ := json.Marshal(done)
@@ -144,6 +153,7 @@ func (j *job) status() JobStatus {
 		Simulated: j.metrics.Simulated.Load(),
 		StoreHits: j.metrics.StoreHits.Load(),
 		MemoHits:  j.metrics.MemoHits.Load(),
+		Remote:    j.metrics.Remote.Load(),
 		Created:   j.created, Started: j.started, Finished: j.finished,
 		Error: j.err, StoreErr: j.storeErr,
 	}

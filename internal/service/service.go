@@ -18,12 +18,14 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/fabric"
 	"repro/internal/scalefold"
 	"repro/internal/scenario"
 	"repro/internal/store"
@@ -50,6 +52,21 @@ type Config struct {
 	// jobs are evicted first, at submission time, so a long-running server
 	// does not grow without bound. <= 0 means 256.
 	MaxFinishedJobs int
+	// Fabric, when non-nil, runs the server in coordinator mode: jobs'
+	// store-miss cells are dispatched to registered fleet workers over the
+	// /v1/workers endpoints instead of simulated in-process. The zero
+	// fabric.Config is valid (protocol defaults apply).
+	Fabric *fabric.Config
+}
+
+// persistentStore is the slice of Disk/Shared the server drives beyond the
+// plain Store reads and writes: directory identity for status reporting,
+// torn-record accounting, and shutdown flush.
+type persistentStore interface {
+	store.Store[cluster.Result]
+	Dir() string
+	Dropped() int
+	Close() error
 }
 
 // Server owns the job queue, the shared worker pool and the result store.
@@ -57,9 +74,10 @@ type Config struct {
 type Server struct {
 	cfg    Config
 	st     store.Store[cluster.Result]
-	disk   *store.Disk[cluster.Result] // nil when memory-only
-	legacy int                         // pre-Version store keys counted at open
-	slots  chan struct{}               // shared simulation-concurrency pool
+	disk   persistentStore     // nil when memory-only
+	coord  *fabric.Coordinator // nil unless coordinator mode
+	legacy int                 // pre-Version store keys counted at open
+	slots  chan struct{}       // shared simulation-concurrency pool
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -92,13 +110,24 @@ func New(cfg Config) (*Server, error) {
 		jobs:  map[string]*job{},
 		queue: make(chan *job, cfg.QueueLimit),
 	}
-	if cfg.StoreDir != "" {
+	switch {
+	case cfg.StoreDir != "" && cfg.Fabric != nil:
+		// A coordinator shares its store directory with the worker fleet,
+		// so it must join as one more Shared owner: a Get miss then tails
+		// the workers' segments and finds their records, instead of the
+		// coordinator re-writing every settled cell as a duplicate.
+		sh, err := store.OpenShared[cluster.Result](cfg.StoreDir, "coordinator")
+		if err != nil {
+			return nil, err
+		}
+		s.disk, s.st = sh, sh
+	case cfg.StoreDir != "":
 		d, err := store.OpenDisk[cluster.Result](cfg.StoreDir)
 		if err != nil {
 			return nil, err
 		}
 		s.disk, s.st = d, d
-	} else {
+	default:
 		s.st = store.NewMem[cluster.Result]()
 	}
 	// Legacy keys can only come from a pre-upgrade store on disk: every key
@@ -108,6 +137,9 @@ func New(cfg Config) (*Server, error) {
 		if !scenario.IsCurrentKey(k) {
 			s.legacy++
 		}
+	}
+	if cfg.Fabric != nil {
+		s.coord = fabric.NewCoordinator(*cfg.Fabric, s.st)
 	}
 	for i := 0; i < cfg.MaxActiveJobs; i++ {
 		s.wg.Add(1)
@@ -124,6 +156,10 @@ func New(cfg Config) (*Server, error) {
 // Store exposes the server's result store (read-mostly: stats, tests).
 func (s *Server) Store() store.Store[cluster.Result] { return s.st }
 
+// Coordinator exposes the fabric coordinator (nil unless the server was
+// configured with Config.Fabric).
+func (s *Server) Coordinator() *fabric.Coordinator { return s.coord }
+
 // Close stops accepting jobs, cancels whatever is queued or running, waits
 // for the schedulers to drain and closes the store. Safe to call once.
 func (s *Server) Close() error {
@@ -138,6 +174,11 @@ func (s *Server) Close() error {
 	}
 	close(s.queue)
 	s.mu.Unlock()
+	// Fail the fabric's outstanding tasks before waiting: a scheduler worker
+	// parked in a remote Execute must be unblocked for the drain to finish.
+	if s.coord != nil {
+		s.coord.Close()
+	}
 	s.wg.Wait()
 	if s.disk != nil {
 		return s.disk.Close()
@@ -286,51 +327,83 @@ func (s *Server) runJob(j *job) {
 	sw.OnStoreErr = j.noteStoreErr
 	sw.Metrics = &j.metrics
 	sw.Workers = j.spec.Workers
-	if sw.Workers <= 0 || sw.Workers > s.cfg.Workers {
-		sw.Workers = s.cfg.Workers
-	}
-	// SimWorkers shards work *inside* each gated cell, which the slot
-	// semaphore cannot see — unclamped, one job could multiply the server's
-	// compute concurrency past the pool. Bound the product of cell
-	// parallelism and intra-cell shards by the pool size (results are
-	// identical at any width, so clamping only costs latency). Explicit
-	// scenarios carry their own sim_workers, so those are clamped too —
-	// on a copy, leaving the job's submitted spec as received.
-	simLim := s.cfg.Workers / sw.Workers
-	if simLim < 1 {
-		simLim = 1
-	}
-	if sw.SimWorkers > simLim {
-		sw.SimWorkers = simLim
-	}
-	cloned := false
-	for i := range sw.Scenarios {
-		if sw.Scenarios[i].SimWorkers > simLim {
-			if !cloned {
-				sw.Scenarios = append([]scenario.Scenario(nil), sw.Scenarios...)
-				cloned = true
+	if s.coord != nil {
+		// Coordinator mode: store-miss cells are dispatched to the fleet, so
+		// engine "workers" are dispatch waiters, not simulations — size them
+		// to the grid (capped), never to this machine's core count, or a
+		// single-core coordinator would serialize the whole fleet. The slot
+		// semaphore and the SimWorkers clamp guard local compute; neither
+		// applies when the compute happens elsewhere.
+		if sw.Workers <= 0 {
+			sw.Workers = min(j.cells, 64)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		stop := func() { cancel() }
+		j.stop.Store(&stop)
+		defer j.stop.Store(nil)
+		if j.cancelled.Load() {
+			cancel() // cancelled between the queued check and hook install
+		}
+		sw.Runner = func(c scalefold.StepConfig) (cluster.Result, error) {
+			return s.coord.Execute(ctx, c)
+		}
+		sw.Gate = func(run func()) {
+			if j.cancelled.Load() {
+				return // drain: cell settles as a zero row, never persisted
 			}
-			sw.Scenarios[i].SimWorkers = simLim
+			run()
 		}
-	}
-	sw.Gate = func(run func()) {
-		if j.cancelled.Load() {
-			return // drain: cell settles as a zero row, never persisted
+	} else {
+		if sw.Workers <= 0 || sw.Workers > s.cfg.Workers {
+			sw.Workers = s.cfg.Workers
 		}
-		s.slots <- struct{}{}
-		defer func() { <-s.slots }()
-		if j.cancelled.Load() {
-			return
+		// SimWorkers shards work *inside* each gated cell, which the slot
+		// semaphore cannot see — unclamped, one job could multiply the
+		// server's compute concurrency past the pool. Bound the product of
+		// cell parallelism and intra-cell shards by the pool size (results
+		// are identical at any width, so clamping only costs latency).
+		// Explicit scenarios carry their own sim_workers, so those are
+		// clamped too — on a copy, leaving the job's submitted spec as
+		// received.
+		simLim := s.cfg.Workers / sw.Workers
+		if simLim < 1 {
+			simLim = 1
 		}
-		run()
+		if sw.SimWorkers > simLim {
+			sw.SimWorkers = simLim
+		}
+		cloned := false
+		for i := range sw.Scenarios {
+			if sw.Scenarios[i].SimWorkers > simLim {
+				if !cloned {
+					sw.Scenarios = append([]scenario.Scenario(nil), sw.Scenarios...)
+					cloned = true
+				}
+				sw.Scenarios[i].SimWorkers = simLim
+			}
+		}
+		sw.Gate = func(run func()) {
+			if j.cancelled.Load() {
+				return // drain: cell settles as a zero row, never persisted
+			}
+			s.slots <- struct{}{}
+			defer func() { <-s.slots }()
+			if j.cancelled.Load() {
+				return
+			}
+			run()
+		}
 	}
 	sw.OnRow = j.streamRow
 	_, err := sw.Run(nil)
 	switch {
+	case j.cancelled.Load():
+		// Cancellation wins over failure: aborting remote dispatch makes the
+		// runner surface a context error, but the user asked for cancel.
+		j.finalize(StateCancelled, nil)
 	case err != nil:
 		j.finalize(StateFailed, err)
-	case j.cancelled.Load():
-		j.finalize(StateCancelled, nil)
 	default:
 		j.finalize(StateDone, nil)
 	}

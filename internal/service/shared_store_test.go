@@ -1,0 +1,71 @@
+package service
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+	"repro/internal/store"
+)
+
+// A coordinator-mode server must join its store directory as a Shared owner,
+// not a Disk single-writer: records a worker writes AFTER the server opened
+// the directory must become visible through the server's Get (miss → tail the
+// worker's segments), which a Disk store — replay-at-open only — can never do.
+func TestCoordinatorModeJoinsStoreDirAsSharedOwner(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := New(Config{StoreDir: dir, Fabric: &fabric.Config{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	w, err := store.OpenShared[cluster.Result](dir, "w0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cluster.Result{Goodput: 1, MedianStep: time.Second}
+	if err := w.Put("v3:feedface00000000", res); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, ok := srv.Store().Get("v3:feedface00000000"); !ok || got != res {
+		t.Fatalf("server Get after foreign write = %+v, %v; want the worker's record", got, ok)
+	}
+	// Visibility came from tailing, not from re-writing: the coordinator
+	// owner must not have copied the record into a segment of its own.
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-coordinator-*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 0 {
+		t.Fatalf("coordinator wrote own segments %v for a foreign record", segs)
+	}
+
+	// A plain (non-fabric) server keeps the Disk single-writer store; while
+	// the coordinator holds only .lock-coordinator, Disk's directory-wide
+	// lock must refuse to share the dir with a live owner-less sibling dir
+	// open — sanity-check the non-fabric path still opens Disk by its
+	// distinct segment naming after a write.
+	plainDir := t.TempDir()
+	plain, err := New(Config{StoreDir: plainDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if err := plain.Store().Put("v3:feedface00000001", res); err != nil {
+		t.Fatal(err)
+	}
+	own, err := filepath.Glob(filepath.Join(plainDir, "seg-0*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(own) != 1 {
+		t.Fatalf("plain server segments = %v, want one numeric Disk segment", own)
+	}
+}

@@ -115,9 +115,12 @@ type JobStatus struct {
 	Done    int `json:"done"`
 	Skipped int `json:"skipped"`
 	// How the executed cells were satisfied (see scalefold.SweepMetrics).
+	// Remote counts cells dispatched to the worker fleet; it is only nonzero
+	// on a coordinator-mode server.
 	Simulated int64 `json:"simulated"`
 	StoreHits int64 `json:"store_hits"`
 	MemoHits  int64 `json:"memo_hits"`
+	Remote    int64 `json:"remote,omitempty"`
 
 	Created  time.Time  `json:"created"`
 	Started  *time.Time `json:"started,omitempty"`
@@ -151,6 +154,7 @@ type DoneEvent struct {
 	Simulated int64  `json:"simulated"`
 	StoreHits int64  `json:"store_hits"`
 	MemoHits  int64  `json:"memo_hits"`
+	Remote    int64  `json:"remote,omitempty"`
 	Error     string `json:"error,omitempty"`
 }
 

@@ -85,10 +85,14 @@ func OpenDisk[R any](dir string) (*Disk[R], error) {
 			return nil, err
 		}
 	}
-	if n := len(segs); n > 0 {
-		// Resume numbering after the newest existing segment. New writes
-		// always start a fresh segment: the old tail may end in a torn line.
-		fmt.Sscanf(filepath.Base(segs[n-1]), "seg-%d.jsonl", &d.segSeq)
+	// Resume numbering after the newest existing plain segment. New writes
+	// always start a fresh segment: the old tail may end in a torn line.
+	// Owner-named segments (a Shared fleet's leases, replayed above like any
+	// other) live in their own namespaces and don't advance ours.
+	for _, path := range segs {
+		if n, ok := segSeqOf(filepath.Base(path), "seg-"); ok && n > d.segSeq {
+			d.segSeq = n
+		}
 	}
 	return d, nil
 }

@@ -1,0 +1,388 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// Shared is the multi-writer sibling of Disk: several processes (fabric
+// workers, a coordinator) share one result directory, each appending only to
+// its own lease — segments named seg-<owner>-NNNNNNNN.jsonl, guarded by an
+// exclusive flock on .lock-<owner> — while reading everyone's. No write path
+// is ever contended across processes, so the single-writer invariant Disk
+// enforces per directory holds per owner instead.
+//
+// Foreign segments are tailed incrementally: Refresh (and every Get miss)
+// replays only the bytes other owners appended since the last look, and only
+// complete lines — a torn tail another process is mid-writing is left for the
+// next pass, never dropped. Because values are deterministic functions of
+// their fingerprint key, concurrent writers racing on the same key are
+// byte-equivalent and last-write-wins is safe.
+type Shared[R any] struct {
+	// SegmentBytes is the rotation threshold (default DefaultSegmentBytes).
+	// Set it before the first Put; it is read under the store lock.
+	SegmentBytes int64
+
+	mu      sync.Mutex
+	dir     string
+	owner   string
+	prefix  string   // "seg-<owner>-": this store's segment namespace
+	lock    *os.File // flock-held .lock-<owner> file
+	idx     map[string]R
+	offsets map[string]int64 // foreign segment → bytes consumed
+	seg     *os.File         // active own segment; nil until the first Put
+	segSize int64
+	segSeq  int
+	torn    bool
+	dropped int
+	closed  bool
+}
+
+// OpenShared opens (creating if needed) a shared store rooted at dir, writing
+// as owner. The owner names this writer's lease: it must be unique among live
+// processes sharing the directory (hostname-pid style) and path-safe
+// (letters, digits, '.', '_', '-'). Opening replays every segment in the
+// directory — this owner's previous runs and every other owner's — into the
+// index; fresh writes always start a new segment.
+//
+// A directory may be used by Disk and Shared stores at different times (both
+// speak the same JSON-lines record format and Disk replays owner-named
+// segments), but not concurrently: Disk's lock claims the whole directory,
+// Shared's only its owner lease.
+func OpenShared[R any](dir, owner string) (*Shared[R], error) {
+	if err := validOwner(owner); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	lock, err := os.OpenFile(filepath.Join(dir, ".lock-"+owner), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("store: owner %q already writes to %s (owners must be unique per live process): %w", owner, dir, err)
+	}
+	s := &Shared[R]{
+		SegmentBytes: DefaultSegmentBytes,
+		dir:          dir,
+		owner:        owner,
+		prefix:       "seg-" + owner + "-",
+		lock:         lock,
+		idx:          map[string]R{},
+		offsets:      map[string]int64{},
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	if err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	sort.Strings(segs)
+	for _, path := range segs {
+		base := filepath.Base(path)
+		if n, ok := segSeqOf(base, s.prefix); ok {
+			// Our own lease from a previous run: static now (we always open a
+			// fresh segment), so replay fully and resume numbering after it.
+			if err := s.replayOwn(path); err != nil {
+				lock.Close()
+				return nil, err
+			}
+			if n > s.segSeq {
+				s.segSeq = n
+			}
+			continue
+		}
+		// Foreign (another owner's, or a plain Disk segment): tail it.
+		if _, err := s.tailLocked(path); err != nil {
+			lock.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func validOwner(owner string) error {
+	if owner == "" {
+		return fmt.Errorf("store: empty owner")
+	}
+	for _, r := range owner {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return fmt.Errorf("store: owner %q: only letters, digits, '.', '_' and '-' are allowed", owner)
+		}
+	}
+	return nil
+}
+
+// segSeqOf parses prefix + zero-padded digits + ".jsonl", reporting the
+// sequence number. Anything else — another owner's lease, foreign droppings —
+// reports false.
+func segSeqOf(base, prefix string) (int, bool) {
+	num, ok := strings.CutPrefix(base, prefix)
+	if !ok {
+		return 0, false
+	}
+	num, ok = strings.CutSuffix(num, ".jsonl")
+	if !ok || num == "" {
+		return 0, false
+	}
+	for _, r := range num {
+		if r < '0' || r > '9' {
+			return 0, false
+		}
+	}
+	n, err := strconv.Atoi(num)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// replayOwn loads one of this owner's closed segments (trusted complete:
+// nobody else writes our lease, and we are not mid-write at open time).
+func (s *Shared[R]) replayOwn(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	for sc.Scan() {
+		s.apply(sc.Bytes())
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("store: reading %s: %w", path, err)
+	}
+	return nil
+}
+
+// apply indexes one log line, counting unparsable ones.
+func (s *Shared[R]) apply(line []byte) {
+	if len(bytes.TrimSpace(line)) == 0 {
+		return
+	}
+	var rec record
+	var v R
+	if json.Unmarshal(line, &rec) != nil || rec.Key == "" || json.Unmarshal(rec.Val, &v) != nil {
+		s.dropped++
+		return
+	}
+	s.idx[rec.Key] = v
+}
+
+// tailLocked reads a foreign segment from its consumed offset, applying only
+// complete (newline-terminated) lines; a partial tail stays unconsumed for
+// the next pass. Reports how many records were applied. Callers hold s.mu.
+func (s *Shared[R]) tailLocked(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil // raced a cleanup; forget it
+		}
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	off := s.offsets[path]
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	buf, err := io.ReadAll(f)
+	if err != nil {
+		return 0, fmt.Errorf("store: reading %s: %w", path, err)
+	}
+	last := bytes.LastIndexByte(buf, '\n')
+	if last < 0 {
+		return 0, nil // no complete line appended yet
+	}
+	n := 0
+	for _, line := range bytes.Split(buf[:last], []byte{'\n'}) {
+		s.apply(line)
+		n++
+	}
+	s.offsets[path] = off + int64(last) + 1
+	return n, nil
+}
+
+// Refresh scans the directory for bytes other owners appended since the last
+// look and indexes them. It reports how many records were applied. Get calls
+// it automatically on a miss; call it directly to pre-warm before a batch.
+func (s *Shared[R]) Refresh() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refreshLocked()
+}
+
+func (s *Shared[R]) refreshLocked() (int, error) {
+	segs, err := filepath.Glob(filepath.Join(s.dir, "seg-*.jsonl"))
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	sort.Strings(segs)
+	total := 0
+	for _, path := range segs {
+		if strings.HasPrefix(filepath.Base(path), s.prefix) {
+			continue // our lease: indexed at write time
+		}
+		n, err := s.tailLocked(path)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Get returns the stored value for key. A miss triggers one incremental
+// Refresh — the "any worker's finished cell is every worker's memo hit"
+// path — before giving up.
+func (s *Shared[R]) Get(key string) (R, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.idx[key]; ok {
+		return v, true
+	}
+	s.refreshLocked() // best-effort: a read error just means a miss
+	v, ok := s.idx[key]
+	return v, ok
+}
+
+// Put appends the record to this owner's active segment and indexes it. Like
+// Disk.Put, the write is a single syscall, so foreign readers only ever see
+// whole-line granularity plus at most one torn tail — which they skip until
+// it completes.
+func (s *Shared[R]) Put(key string, v R) error {
+	if key == "" {
+		return fmt.Errorf("store: empty key")
+	}
+	val, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	line, err := json.Marshal(record{Key: key, Val: val})
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if s.seg == nil || s.segSize >= s.SegmentBytes || s.torn {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := s.seg.Write(line); err != nil {
+		s.torn = true
+		return fmt.Errorf("store: %w", err)
+	}
+	s.segSize += int64(len(line))
+	s.idx[key] = v
+	return nil
+}
+
+func (s *Shared[R]) rotateLocked() error {
+	if s.seg != nil {
+		if err := s.seg.Close(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		s.seg = nil
+	}
+	s.torn = false
+	s.segSeq++
+	path := filepath.Join(s.dir, fmt.Sprintf("%s%08d.jsonl", s.prefix, s.segSeq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.seg, s.segSize = f, 0
+	return nil
+}
+
+// Keys returns every indexed key, sorted. Call Refresh first for a view that
+// includes other owners' latest writes.
+func (s *Shared[R]) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.idx))
+	for k := range s.idx {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Len returns the number of indexed keys (see Keys about staleness).
+func (s *Shared[R]) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.idx)
+}
+
+// Dropped returns how many unparsable log lines were skipped so far.
+func (s *Shared[R]) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Dir returns the directory backing the store; Owner this writer's lease.
+func (s *Shared[R]) Dir() string   { return s.dir }
+func (s *Shared[R]) Owner() string { return s.owner }
+
+// Sync forces the active segment to stable storage.
+func (s *Shared[R]) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seg == nil {
+		return nil
+	}
+	if err := s.seg.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the active segment and releases the owner lease.
+// The index stays readable; Put fails after Close.
+func (s *Shared[R]) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.seg != nil {
+		err = s.seg.Sync()
+		if cerr := s.seg.Close(); err == nil {
+			err = cerr
+		}
+		s.seg = nil
+	}
+	if s.lock != nil {
+		if cerr := s.lock.Close(); err == nil {
+			err = cerr
+		}
+		s.lock = nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
