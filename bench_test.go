@@ -20,6 +20,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/kernels"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/perturb"
 	"repro/internal/pipeline"
 	"repro/internal/scalefold"
@@ -411,6 +412,48 @@ func BenchmarkSweep24Cells(b *testing.B) {
 		}
 		b.ReportMetric(hitRate, "memo-hit-%")
 	})
+}
+
+// ---------- Observability overhead ----------
+
+// BenchmarkSweepObs prices the observability layer on the default 24-cell
+// sweep: "bare" runs with no metrics and no tracer, so every obs call in the
+// engine hits the nil fast path (pinned allocation-free by
+// TestObsNilFastPathAllocFree in internal/obs); "instrumented" attaches the
+// cell-satisfaction counters and a span tracer recording one lifecycle span
+// per cell. CI uploads the pair as BENCH_obs.json — compare the two cells/s
+// numbers; the layer's contract is that instrumented stays within ~2% of
+// bare on this workload.
+func BenchmarkSweepObs(b *testing.B) {
+	const cells = 24
+	run := func(b *testing.B, instrument bool) {
+		for i := 0; i < b.N; i++ {
+			s := sweepBenchSpec(4)
+			if instrument {
+				s.Trace = obs.NewTracer()
+			} else {
+				s.Metrics = nil
+			}
+			if _, err := s.Run(nil); err != nil {
+				b.Fatal(err)
+			}
+			if instrument {
+				spans := 0
+				for _, ev := range s.Trace.Events() {
+					if ev.Ph == "X" {
+						spans++
+					}
+				}
+				if spans != cells {
+					b.Fatalf("trace recorded %d spans, want %d", spans, cells)
+				}
+			}
+		}
+		perSec := float64(b.N) * float64(time.Second) / float64(b.Elapsed())
+		b.ReportMetric(cells*perSec, "cells/s")
+	}
+	b.Run("bare", func(b *testing.B) { run(b, false) })
+	b.Run("instrumented", func(b *testing.B) { run(b, true) })
 }
 
 // ---------- Cluster simulator throughput ----------

@@ -18,6 +18,7 @@
 //	scalefold worker   sweep-fabric worker: claim cells from a coordinator
 //	scalefold submit   submit a sweep job to a running server
 //	scalefold jobs     list, inspect or cancel server jobs
+//	scalefold trace    download a job's Chrome trace-event timeline
 //	scalefold help     full command reference (docs/cli.md, embedded)
 //
 // See docs/cli.md for the full reference — `scalefold help` prints the same
@@ -30,8 +31,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -87,6 +90,9 @@ func main() {
 		return
 	case "jobs":
 		jobsCmd(os.Args[2:])
+		return
+	case "trace":
+		traceCmd(os.Args[2:])
 		return
 	}
 	run, ok := runners[cmd]
@@ -317,11 +323,17 @@ future sweeps, jobs and figure runs`)
 				ev.Done, ev.Total, ev.Label, note, ev.Elapsed.Round(time.Millisecond))
 		}
 	}
+	var met scalefold.SweepMetrics
+	spec.Metrics = &met
+	t0 := time.Now()
 	rows, err := spec.Run(progress)
 	if err != nil {
 		// Grid errors already carry the "sweep:" package prefix.
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(2)
+	}
+	if !*quiet {
+		runSummary("sweep", len(rows), &met, time.Since(t0))
 	}
 	for _, r := range rows {
 		if r.SkipReason != "" {
@@ -350,6 +362,47 @@ future sweeps, jobs and figure runs`)
 	}
 	emit(*csvPath, "csv", func(f *os.File) error { return tab.WriteCSV(f) })
 	emit(*jsonPath, "json", func(f *os.File) error { return tab.WriteJSON(f) })
+}
+
+// newLogger maps a -log-level flag value to a structured text logger on
+// stderr. "" disables structured logging (nil — packages discard); an unknown
+// level exits 2.
+func newLogger(cmd, level string) *slog.Logger {
+	if level == "" {
+		return nil
+	}
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		fmt.Fprintf(os.Stderr, "%s: -log-level: unknown level %q (want debug, info, warn or error)\n", cmd, level)
+		os.Exit(2)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+}
+
+// runSummary prints the one-line execution accounting every local sweep ends
+// with: how many cells ran, how they were satisfied, and the wall time.
+func runSummary(cmd string, cells int, met *scalefold.SweepMetrics, wall time.Duration) {
+	sim, hits := met.Simulated.Load(), met.StoreHits.Load()
+	memo, remote := met.MemoHits.Load(), met.Remote.Load()
+	total := sim + hits + memo + remote
+	pct := func(n int64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(total)
+	}
+	fmt.Fprintf(os.Stderr,
+		"%s: %d cells in %v — %d simulated, %d store hits (%.0f%%), %d memo hits, %d remote (%.0f%%)\n",
+		cmd, cells, wall.Round(time.Millisecond), sim, hits, pct(hits), memo, remote, pct(remote))
 }
 
 // parseFloatList converts a comma-separated flag value to float64s.
@@ -438,10 +491,16 @@ cell)`)
 				ev.Done, ev.Total, ev.Label, note, ev.Elapsed.Round(time.Millisecond))
 		}
 	}
+	var met scalefold.SweepMetrics
+	spec.Metrics = &met
+	t0 := time.Now()
 	rows, err := spec.Run(progress)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(2)
+	}
+	if !*quiet {
+		runSummary("resilience", len(rows), &met, time.Since(t0))
 	}
 	if *csvPath == "" {
 		return
@@ -471,6 +530,10 @@ func serveCmd(args []string) {
 	queue := fs.Int("queue", 64, "queued-job limit before submissions are refused with 503")
 	fabricMode := fs.Bool("fabric", false, "coordinator mode: dispatch cells to `scalefold worker` fleet instead of simulating in-process")
 	heartbeat := fs.Duration("heartbeat", 2*time.Second, "fabric worker heartbeat interval (workers are lost after 3 missed beats)")
+	debugAddr := fs.String("debug-addr", "", `net/http/pprof listen address ("" = pprof off); kept off the
+API listener so profiling is never exposed where jobs are`)
+	logLevel := fs.String("log-level", "", `structured-log level on stderr: debug, info, warn or error
+("" = structured logging off)`)
 	fs.Parse(args)
 
 	cfg := service.Config{
@@ -478,6 +541,7 @@ func serveCmd(args []string) {
 		Workers:       *workers,
 		MaxActiveJobs: *jobs,
 		QueueLimit:    *queue,
+		Log:           newLogger("serve", *logLevel),
 	}
 	if *fabricMode {
 		cfg.Fabric = &fabric.Config{HeartbeatInterval: *heartbeat}
@@ -491,6 +555,24 @@ func serveCmd(args []string) {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 		os.Exit(2)
+	}
+	if *debugAddr != "" {
+		// Explicit handlers on a private mux: importing net/http/pprof also
+		// registers on http.DefaultServeMux, but the API listener never serves
+		// that mux, so the profiling surface exists only on -debug-addr.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: -debug-addr: %v\n", err)
+			os.Exit(2)
+		}
+		go http.Serve(dln, dmux)
+		fmt.Fprintf(os.Stderr, "scalefold serve: pprof on http://%s/debug/pprof/\n", dln.Addr())
 	}
 	storeNote := "in-memory store"
 	if *storeDir != "" {
@@ -536,6 +618,8 @@ func workerCmd(args []string) {
 	name := fs.String("name", "", `worker label in fleet listings ("" = hostname-pid)`)
 	storeDir := fs.String("store", "", `shared result-store directory ("" = this worker memoizes alone)`)
 	poll := fs.Duration("poll", 200*time.Millisecond, "idle claim interval and transport-retry backoff")
+	logLevel := fs.String("log-level", "", `structured-log level on stderr: debug, info, warn or error
+("" = structured logging off)`)
 	fs.Parse(args)
 
 	if *name == "" {
@@ -545,7 +629,7 @@ func workerCmd(args []string) {
 		}
 		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
-	w := &fabric.Worker{Base: *server, Name: *name, Poll: *poll}
+	w := &fabric.Worker{Base: *server, Name: *name, Poll: *poll, Log: newLogger("worker", *logLevel)}
 	w.OnStoreErr = func(err error) { fmt.Fprintf(os.Stderr, "worker: store: %v\n", err) }
 	if *storeDir != "" {
 		// The lease owner must be path-safe and unique per live process;
@@ -639,6 +723,42 @@ func jobsCmd(args []string) {
 		printJSON(struct {
 			Jobs []service.JobStatus `json:"jobs"`
 		}{Jobs: list})
+	}
+}
+
+// traceCmd downloads a job's cell-lifecycle trace as Chrome trace-event JSON
+// (GET /v1/jobs/{id}/trace) — open it in chrome://tracing or Perfetto to see
+// which worker (or local lane) executed each cell and when.
+func traceCmd(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:8823", "sweep server base URL")
+	jobID := fs.String("job", "", "job ID to fetch the trace for")
+	out := fs.String("o", "-", `output path for the trace JSON ("-" = stdout)`)
+	fs.Parse(args)
+	if *jobID == "" && fs.NArg() > 0 {
+		*jobID = fs.Arg(0)
+	}
+	if *jobID == "" {
+		fmt.Fprintln(os.Stderr, "trace: pass a job ID (-job job-000001, or as the first argument)")
+		os.Exit(2)
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		w = f
+	}
+	client := &service.Client{Base: *server}
+	if err := client.Trace(*jobID, w); err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(2)
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "trace: wrote %s for %s\n", *out, *jobID)
 	}
 }
 

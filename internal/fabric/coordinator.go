@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/scalefold"
 	"repro/internal/store"
 )
@@ -35,15 +36,75 @@ type task struct {
 	res      cluster.Result
 	err      error
 	doneCh   chan struct{}
+
+	// Lifecycle instants for the cell report; written under the coordinator
+	// lock before doneCh closes, read by waiters after it.
+	enqueued  time.Time
+	claimedAt time.Time
+	settledAt time.Time
+	owner     string        // worker that settled the cell
+	source    string        // "store-hit" or "simulated" (worker-reported)
+	elapsed   time.Duration // worker-measured execution time
+}
+
+// CellReport is the coordinator's record of one settled cell's lifecycle —
+// who ran it, how it was satisfied, and when each stage happened. Jobs feed
+// these into their trace so the fleet timeline shows true worker-side
+// execution windows, not RPC-bracketed guesses.
+type CellReport struct {
+	Key      string
+	Owner    string // settling worker ID; "coordinator" for a store fast-path hit
+	Source   string // "store-hit" or "simulated"
+	Enqueued time.Time
+	Claimed  time.Time
+	Settled  time.Time
+	Elapsed  time.Duration // worker-measured execution time (0 if unreported)
+	Retries  int
+}
+
+// fleetMetrics bundles the coordinator's observability series. Every field is
+// nil when the Config carried no Registry, and every write is nil-safe, so an
+// uninstrumented coordinator pays only nil checks.
+type fleetMetrics struct {
+	reg        *obs.Registry
+	pending    *obs.Gauge
+	workers    *obs.Gauge
+	completed  *obs.Counter
+	reassigned *obs.Counter
+	rejected   *obs.Counter
+	lost       *obs.Counter
+	queueWait  *obs.Histogram
+}
+
+func newFleetMetrics(r *obs.Registry) fleetMetrics {
+	return fleetMetrics{
+		reg:        r,
+		pending:    r.Gauge("scalefold_fabric_pending_cells", "Cells queued and waiting for a worker claim."),
+		workers:    r.Gauge("scalefold_fabric_workers", "Live registered workers."),
+		completed:  r.Counter("scalefold_fabric_completed_total", "Cells settled by the fleet."),
+		reassigned: r.Counter("scalefold_fabric_reassigned_total", "Loss- or error-triggered cell requeues."),
+		rejected:   r.Counter("scalefold_fabric_rejected_total", "Refused late or stale complete calls."),
+		lost:       r.Counter("scalefold_fabric_lost_workers_total", "Workers expired for missed heartbeats."),
+		queueWait:  r.Histogram("scalefold_fabric_queue_wait_seconds", "Time cells spend queued before a claim.", nil),
+	}
+}
+
+// workerInflight mints (or fetches) the per-worker in-flight gauge.
+func (m fleetMetrics) workerInflight(id string) *obs.Gauge {
+	return m.reg.Gauge("scalefold_fabric_worker_inflight",
+		"Cells currently assigned to the worker.", obs.Label{Key: "worker", Value: id})
 }
 
 // workerState is the coordinator's view of one registered worker.
 type workerState struct {
-	id        string
-	name      string
-	lastBeat  time.Time
-	inflight  map[string]*task
-	completed int64
+	id          string
+	name        string
+	lastBeat    time.Time
+	inflight    map[string]*task
+	completed   int64
+	simulated   int64
+	storeHits   int64
+	inflightGge *obs.Gauge // per-worker in-flight gauge; nil when uninstrumented
 }
 
 // Coordinator owns the dispatch state of the sweep fabric: the fleet
@@ -66,6 +127,8 @@ type Coordinator struct {
 	rejected   int64
 	lost       int64
 
+	met fleetMetrics
+
 	stopExpiry chan struct{}
 }
 
@@ -82,6 +145,7 @@ func NewCoordinator(cfg Config, st store.Store[cluster.Result]) *Coordinator {
 		tasks:      map[string]*task{},
 		stopExpiry: make(chan struct{}),
 	}
+	c.met = newFleetMetrics(c.cfg.Registry)
 	if c.cfg.Now == nil {
 		c.cfg.Now = time.Now
 		go func() {
@@ -137,7 +201,10 @@ func (c *Coordinator) RegisterWorker(name string) (RegisterResponse, error) {
 		lastBeat: c.cfg.Now(),
 		inflight: map[string]*task{},
 	}
+	w.inflightGge = c.met.workerInflight(w.id)
 	c.workers[w.id] = w
+	c.met.workers.Set(int64(len(c.workers)))
+	c.cfg.logger().Info("fabric worker registered", "worker", w.id, "name", name)
 	return RegisterResponse{
 		WorkerID:               w.id,
 		HeartbeatMillis:        c.cfg.HeartbeatInterval.Milliseconds(),
@@ -228,12 +295,19 @@ func (c *Coordinator) Claim(workerID string, max int) ([]Cell, error) {
 		}
 	}
 	c.queue = rest
+	now := c.cfg.Now()
 	cells := make([]Cell, len(picked))
 	for i, t := range picked {
 		t.assigned = workerID
+		t.claimedAt = now
+		if !t.enqueued.IsZero() {
+			c.met.queueWait.Observe(now.Sub(t.enqueued).Seconds())
+		}
 		w.inflight[t.key] = t
 		cells[i] = Cell{Key: t.key, Name: t.cfg.Name, Scenario: t.cfg.Scenario}
 	}
+	c.met.pending.Set(int64(len(c.queue)))
+	w.inflightGge.Set(int64(len(w.inflight)))
 	return cells, nil
 }
 
@@ -254,42 +328,65 @@ func (c *Coordinator) homeLocked(key string) string {
 	return best
 }
 
-// Complete settles one claimed cell. Rejections are idempotent and mutate
-// nothing: an unknown or expired worker (its cells were reassigned), a cell
-// the coordinator no longer tracks (already settled by the reassigned run),
-// or a cell tracked but assigned elsewhere all report Accepted=false. A
-// worker-reported execution error (req-style Err) requeues the cell against
-// its retry budget.
+// Complete settles one claimed cell; see CompleteCell for the semantics.
+// It keeps the pre-observability signature for callers without timing data.
 func (c *Coordinator) Complete(workerID, key string, res cluster.Result, workerErr string) CompleteResponse {
+	return c.CompleteCell(CompleteRequest{WorkerID: workerID, Key: key, Result: res, Err: workerErr})
+}
+
+// CompleteCell settles one claimed cell from its full wire request, including
+// the worker-reported execution timing and source that feed the job trace.
+// Rejections are idempotent and mutate nothing: an unknown or expired worker
+// (its cells were reassigned), a cell the coordinator no longer tracks
+// (already settled by the reassigned run), or a cell tracked but assigned
+// elsewhere all report Accepted=false. A worker-reported execution error
+// (req.Err) requeues the cell against its retry budget.
+func (c *Coordinator) CompleteCell(req CompleteRequest) CompleteResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return CompleteResponse{Accepted: false, Reason: "coordinator closed"}
 	}
 	c.expireLocked(c.cfg.Now())
-	w, ok := c.workers[workerID]
+	w, ok := c.workers[req.WorkerID]
 	if !ok {
 		c.rejected++
+		c.met.rejected.Inc()
 		return CompleteResponse{Accepted: false, Reason: "unknown or expired worker (cell reassigned)"}
 	}
 	w.lastBeat = c.cfg.Now()
-	t, ok := c.tasks[key]
+	t, ok := c.tasks[req.Key]
 	if !ok {
 		c.rejected++
+		c.met.rejected.Inc()
 		return CompleteResponse{Accepted: false, Reason: "cell already settled"}
 	}
-	if t.assigned != workerID {
+	if t.assigned != req.WorkerID {
 		c.rejected++
+		c.met.rejected.Inc()
 		return CompleteResponse{Accepted: false, Reason: "cell reassigned to another worker"}
 	}
-	delete(w.inflight, key)
-	if workerErr != "" {
-		c.requeueLocked(t, fmt.Errorf("fabric: worker %s failed cell %s: %s", workerID, key, workerErr))
+	delete(w.inflight, req.Key)
+	w.inflightGge.Set(int64(len(w.inflight)))
+	if req.Err != "" {
+		c.requeueLocked(t, fmt.Errorf("fabric: worker %s failed cell %s: %s", req.WorkerID, req.Key, req.Err))
 		return CompleteResponse{Accepted: true, Reason: "requeued after worker-reported error"}
 	}
 	w.completed++
 	c.completed++
-	c.settleLocked(t, res)
+	c.met.completed.Inc()
+	if req.Source == "store-hit" {
+		w.storeHits++
+	} else {
+		w.simulated++
+	}
+	t.owner = req.WorkerID
+	t.source = req.Source
+	if t.source == "" {
+		t.source = "simulated"
+	}
+	t.elapsed = time.Duration(req.ElapsedMillis * float64(time.Millisecond))
+	c.settleLocked(t, req.Result)
 	return CompleteResponse{Accepted: true}
 }
 
@@ -304,6 +401,7 @@ func (c *Coordinator) settleLocked(t *task, res cluster.Result) {
 		}
 	}
 	t.done, t.res = true, res
+	t.settledAt = c.cfg.Now()
 	close(t.doneCh)
 	delete(c.tasks, t.key)
 }
@@ -312,16 +410,22 @@ func (c *Coordinator) settleLocked(t *task, res cluster.Result) {
 // (and every job waiting on it) once the retry budget is exhausted.
 func (c *Coordinator) requeueLocked(t *task, cause error) {
 	t.assigned = ""
+	t.claimedAt = time.Time{}
 	t.retries++
 	if t.retries > c.cfg.MaxRetries {
 		t.done = true
 		t.err = fmt.Errorf("fabric: cell %s failed %d times, retry budget exhausted: %w", t.key, t.retries, cause)
+		t.settledAt = c.cfg.Now()
 		close(t.doneCh)
 		delete(c.tasks, t.key)
+		c.cfg.logger().Error("fabric cell retry budget exhausted",
+			"cell", t.key, "retries", t.retries, "cause", cause)
 		return
 	}
 	c.reassigned++
+	c.met.reassigned.Inc()
 	c.queue = append([]*task{t}, c.queue...)
+	c.met.pending.Set(int64(len(c.queue)))
 }
 
 // ExpireNow runs loss detection immediately: workers silent past the
@@ -341,6 +445,12 @@ func (c *Coordinator) expireLocked(now time.Time) {
 		}
 		delete(c.workers, id)
 		c.lost++
+		c.met.lost.Inc()
+		c.met.workers.Set(int64(len(c.workers)))
+		w.inflightGge.Set(0)
+		c.cfg.logger().Warn("fabric worker lost",
+			"worker", id, "name", w.name,
+			"silent_for", now.Sub(w.lastBeat), "inflight", len(w.inflight))
 		for _, t := range w.inflight {
 			c.requeueLocked(t, fmt.Errorf("fabric: worker %s (%s) lost: no heartbeat for %v", id, w.name, now.Sub(w.lastBeat)))
 		}
@@ -353,23 +463,36 @@ func (c *Coordinator) expireLocked(now time.Time) {
 // (fabric-level singleflight), and a cell already in the shared store is
 // served without dispatch.
 func (c *Coordinator) Execute(ctx context.Context, cfg scalefold.StepConfig) (cluster.Result, error) {
+	res, _, err := c.ExecuteReport(ctx, cfg)
+	return res, err
+}
+
+// ExecuteReport is Execute plus the cell's lifecycle report: who settled it,
+// how, and when each stage happened — the data a job trace renders as spans.
+// The report is meaningful only when err is nil.
+func (c *Coordinator) ExecuteReport(ctx context.Context, cfg scalefold.StepConfig) (cluster.Result, CellReport, error) {
 	key := cfg.Fingerprint()
 	if c.st != nil {
 		if r, ok := c.st.Get(key); ok && r.Goodput > 0 {
-			return r, nil
+			now := c.cfg.Now()
+			return r, CellReport{
+				Key: key, Owner: "coordinator", Source: "store-hit",
+				Enqueued: now, Claimed: now, Settled: now,
+			}, nil
 		}
 	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return cluster.Result{}, ErrClosed
+		return cluster.Result{}, CellReport{}, ErrClosed
 	}
 	c.expireLocked(c.cfg.Now())
 	t, ok := c.tasks[key]
 	if !ok {
-		t = &task{key: key, cfg: cfg, doneCh: make(chan struct{})}
+		t = &task{key: key, cfg: cfg, doneCh: make(chan struct{}), enqueued: c.cfg.Now()}
 		c.tasks[key] = t
 		c.queue = append(c.queue, t)
+		c.met.pending.Set(int64(len(c.queue)))
 	}
 	t.waiters++
 	c.mu.Unlock()
@@ -379,7 +502,12 @@ func (c *Coordinator) Execute(ctx context.Context, cfg scalefold.StepConfig) (cl
 		c.mu.Lock()
 		t.waiters--
 		c.mu.Unlock()
-		return t.res, t.err
+		// Settled task fields are immutable after doneCh closes.
+		return t.res, CellReport{
+			Key: key, Owner: t.owner, Source: t.source,
+			Enqueued: t.enqueued, Claimed: t.claimedAt, Settled: t.settledAt,
+			Elapsed: t.elapsed, Retries: t.retries,
+		}, t.err
 	case <-ctx.Done():
 		c.mu.Lock()
 		t.waiters--
@@ -395,9 +523,10 @@ func (c *Coordinator) Execute(ctx context.Context, cfg scalefold.StepConfig) (cl
 				}
 			}
 			c.queue = rest
+			c.met.pending.Set(int64(len(c.queue)))
 		}
 		c.mu.Unlock()
-		return cluster.Result{}, ctx.Err()
+		return cluster.Result{}, CellReport{}, ctx.Err()
 	}
 }
 
@@ -417,9 +546,12 @@ func (c *Coordinator) Fleet() FleetStatus {
 	}
 	for _, w := range c.workers {
 		fs.Inflight += len(w.inflight)
+		fs.Simulated += w.simulated
+		fs.StoreHits += w.storeHits
 		fs.Workers = append(fs.Workers, WorkerStatus{
 			ID: w.id, Name: w.name, LastBeat: w.lastBeat,
 			Inflight: len(w.inflight), Completed: w.completed,
+			Simulated: w.simulated, StoreHits: w.storeHits,
 		})
 	}
 	// Stable listing order for tests and operators.

@@ -23,9 +23,11 @@
 package fabric
 
 import (
+	"log/slog"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -49,6 +51,21 @@ type Config struct {
 	// coordinator calls and explicit ExpireNow, so tests control time
 	// completely.
 	Now func() time.Time
+	// Registry, when non-nil, receives the coordinator's observability
+	// series (queue depth, per-worker in-flight, RPC latencies, loss
+	// counters). Nil leaves the fabric uninstrumented.
+	Registry *obs.Registry
+	// Log, when non-nil, receives structured coordinator diagnostics
+	// (worker loss, retry exhaustion). Nil discards them.
+	Log *slog.Logger
+}
+
+// logger returns the configured structured logger, or a discarding one.
+func (c Config) logger() *slog.Logger {
+	if c.Log != nil {
+		return c.Log
+	}
+	return slog.New(slog.DiscardHandler)
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +149,14 @@ type CompleteRequest struct {
 	Key      string         `json:"key"`
 	Result   cluster.Result `json:"result"`
 	Err      string         `json:"err,omitempty"`
+	// ElapsedMillis is the worker-measured execution time of the cell, so
+	// the coordinator's job trace shows true fleet timings rather than
+	// RPC-bracketed estimates. Zero from pre-observability workers.
+	ElapsedMillis float64 `json:"elapsed_ms,omitempty"`
+	// Source reports how the worker satisfied the cell: "store-hit" (shared
+	// store already held it) or "simulated". Empty from older workers counts
+	// as simulated.
+	Source string `json:"source,omitempty"`
 }
 
 // CompleteResponse reports whether the outcome was accepted. A rejected
@@ -150,6 +175,10 @@ type WorkerStatus struct {
 	LastBeat  time.Time `json:"last_beat"`
 	Inflight  int       `json:"inflight"`
 	Completed int64     `json:"completed"`
+	// Simulated and StoreHits split Completed by how the worker satisfied
+	// each cell (worker-reported Source on complete).
+	Simulated int64 `json:"simulated"`
+	StoreHits int64 `json:"store_hits"`
 }
 
 // FleetStatus is the wire form of GET /v1/workers: the live fleet plus the
@@ -167,4 +196,7 @@ type FleetStatus struct {
 	Reassigned int64 `json:"reassigned"`
 	Rejected   int64 `json:"rejected"`
 	Lost       int64 `json:"lost_workers"`
+	// Simulated and StoreHits aggregate the per-worker split fleet-wide.
+	Simulated int64 `json:"simulated"`
+	StoreHits int64 `json:"store_hits"`
 }

@@ -8,6 +8,9 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Mount registers the fabric endpoints on mux. The sweep service mounts them
@@ -19,7 +22,24 @@ import (
 //	POST /v1/workers/complete   report one cell's outcome
 //	GET  /v1/workers            fleet + queue status
 func (c *Coordinator) Mount(mux *http.ServeMux) {
-	mux.HandleFunc("POST /v1/workers/register", func(w http.ResponseWriter, r *http.Request) {
+	// timed wraps a handler with a per-RPC latency histogram. With no
+	// Registry configured hist is nil and the handler is returned untouched —
+	// no clock reads on uninstrumented coordinators. Minting at mount time
+	// also guarantees the series exist (at zero) before any worker calls in.
+	timed := func(rpcName string, h http.HandlerFunc) http.HandlerFunc {
+		hist := c.met.reg.Histogram("scalefold_fabric_rpc_seconds",
+			"Coordinator RPC handling latency in seconds.", nil,
+			obs.Label{Key: "rpc", Value: rpcName})
+		if hist == nil {
+			return h
+		}
+		return func(w http.ResponseWriter, r *http.Request) {
+			t0 := time.Now()
+			h(w, r)
+			hist.ObserveSince(t0)
+		}
+	}
+	mux.HandleFunc("POST /v1/workers/register", timed("register", func(w http.ResponseWriter, r *http.Request) {
 		var req RegisterRequest
 		if !decodeBody(w, r, &req) {
 			return
@@ -30,8 +50,8 @@ func (c *Coordinator) Mount(mux *http.ServeMux) {
 			return
 		}
 		writeFabricJSON(w, http.StatusOK, resp)
-	})
-	mux.HandleFunc("POST /v1/workers/claim", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/workers/claim", timed("claim", func(w http.ResponseWriter, r *http.Request) {
 		var req ClaimRequest
 		if !decodeBody(w, r, &req) {
 			return
@@ -42,8 +62,8 @@ func (c *Coordinator) Mount(mux *http.ServeMux) {
 			return
 		}
 		writeFabricJSON(w, http.StatusOK, ClaimResponse{Cells: cells})
-	})
-	mux.HandleFunc("POST /v1/workers/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/workers/heartbeat", timed("heartbeat", func(w http.ResponseWriter, r *http.Request) {
 		var req HeartbeatRequest
 		if !decodeBody(w, r, &req) {
 			return
@@ -58,14 +78,14 @@ func (c *Coordinator) Mount(mux *http.ServeMux) {
 		default:
 			writeFabricErr(w, err)
 		}
-	})
-	mux.HandleFunc("POST /v1/workers/complete", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/workers/complete", timed("complete", func(w http.ResponseWriter, r *http.Request) {
 		var req CompleteRequest
 		if !decodeBody(w, r, &req) {
 			return
 		}
-		writeFabricJSON(w, http.StatusOK, c.Complete(req.WorkerID, req.Key, req.Result, req.Err))
-	})
+		writeFabricJSON(w, http.StatusOK, c.CompleteCell(req))
+	}))
 	mux.HandleFunc("GET /v1/workers", func(w http.ResponseWriter, r *http.Request) {
 		writeFabricJSON(w, http.StatusOK, c.Fleet())
 	})

@@ -3,6 +3,7 @@ package fabric
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -45,6 +46,11 @@ type Worker struct {
 	// the chaos hook the fakeworker harness uses to kill or stall a worker
 	// between claim and complete. Production workers leave it nil.
 	BeforeCell func(key string)
+	// Log, when non-nil, receives structured diagnostics: claim/complete
+	// failures with worker id and attempt count, re-registrations, rejected
+	// results. Nil discards them (the loop's behavior is unchanged either
+	// way — errors back off by Poll and retry).
+	Log *slog.Logger
 
 	mu sync.Mutex
 	id string
@@ -91,6 +97,13 @@ func (w *Worker) poll() time.Duration {
 	return 200 * time.Millisecond
 }
 
+func (w *Worker) logger() *slog.Logger {
+	if w.Log != nil {
+		return w.Log
+	}
+	return slog.New(slog.DiscardHandler)
+}
+
 // sleep waits d or until ctx is done, reporting whether the worker should
 // keep running.
 func sleep(ctx context.Context, d time.Duration) bool {
@@ -133,6 +146,7 @@ func (w *Worker) Run(ctx context.Context) error {
 	defer stopHB()
 	go w.heartbeatLoop(hbCtx, time.Duration(reg.HeartbeatMillis)*time.Millisecond)
 
+	claimFails := 0
 	for {
 		if ctx.Err() != nil {
 			return nil
@@ -141,16 +155,22 @@ func (w *Worker) Run(ctx context.Context) error {
 		err := rpc(w.http(), w.Base, "/v1/workers/claim", ClaimRequest{WorkerID: w.ID(), Max: reg.BatchSize}, &resp)
 		switch {
 		case errors.Is(err, ErrUnknownWorker):
+			w.logger().Info("fabric worker re-registering: coordinator forgot us",
+				"worker", w.ID(), "name", w.Name)
 			if reg, err = w.register(ctx); err != nil {
 				return nil
 			}
 			continue
 		case err != nil:
+			claimFails++
+			w.logger().Warn("fabric claim failed, backing off",
+				"worker", w.ID(), "attempt", claimFails, "backoff", w.poll(), "err", err)
 			if !sleep(ctx, w.poll()) {
 				return nil
 			}
 			continue
 		}
+		claimFails = 0
 		if len(resp.Cells) == 0 {
 			if !sleep(ctx, w.poll()) {
 				return nil
@@ -171,7 +191,9 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 }
 
-// executeCell runs one claimed cell and reports its outcome.
+// executeCell runs one claimed cell and reports its outcome, including the
+// measured execution time and how the cell was satisfied (shared-store hit
+// vs simulation) so the coordinator's job trace carries true fleet timings.
 func (w *Worker) executeCell(cell Cell) {
 	cfg := scalefold.StepConfig{Name: cell.Name, Scenario: cell.Scenario}
 	req := CompleteRequest{WorkerID: w.ID(), Key: cell.Key}
@@ -180,15 +202,36 @@ func (w *Worker) executeCell(cell Cell) {
 		// store; refuse and let the coordinator retry elsewhere.
 		req.Err = "fingerprint mismatch: claimed " + cell.Key + ", scenario encodes " + got
 	} else {
-		req.Result = cfg.RunVia(w.Store, w.OnStoreErr, w.Metrics)
+		// Run against a per-cell probe so the hit/miss outcome of THIS cell
+		// is separable from the worker's lifetime totals, then fold it in.
+		var probe scalefold.SweepMetrics
+		t0 := time.Now()
+		req.Result = cfg.RunVia(w.Store, w.OnStoreErr, &probe)
+		req.ElapsedMillis = float64(time.Since(t0)) / float64(time.Millisecond)
+		if probe.StoreHits.Load() > 0 {
+			req.Source = "store-hit"
+		} else {
+			req.Source = "simulated"
+		}
+		if w.Metrics != nil {
+			w.Metrics.Simulated.Add(probe.Simulated.Load())
+			w.Metrics.StoreHits.Add(probe.StoreHits.Load())
+			w.Metrics.MemoHits.Add(probe.MemoHits.Load())
+			w.Metrics.Remote.Add(probe.Remote.Load())
+		}
 	}
 	var resp CompleteResponse
 	if err := rpc(w.http(), w.Base, "/v1/workers/complete", req, &resp); err != nil {
-		return // coordinator gone or transport down; loss detection requeues
+		// Coordinator gone or transport down; loss detection requeues.
+		w.logger().Warn("fabric complete failed, abandoning cell to loss detection",
+			"worker", w.ID(), "cell", cell.Key, "err", err)
+		return
 	}
 	switch {
 	case !resp.Accepted:
 		w.rejected.Add(1)
+		w.logger().Info("fabric complete rejected",
+			"worker", w.ID(), "cell", cell.Key, "reason", resp.Reason)
 	case req.Err == "":
 		w.completed.Add(1)
 	}

@@ -44,6 +44,10 @@ type ResilienceSpec struct {
 	SimWorkers int
 	Store      store.Store[cluster.Result]
 	Cache      *sweep.Cache[cluster.Result]
+	// Metrics, when non-nil, counts how each executed cell was satisfied —
+	// the same counters a sweep-service job exports, so the CLI's run
+	// summary prints the numbers servers would.
+	Metrics *SweepMetrics
 }
 
 // DefaultResilienceSpec is the out-of-the-box resilience sweep: the paper's
@@ -113,6 +117,7 @@ func (s ResilienceSpec) Run(onProgress func(sweep.Progress)) ([]ResilienceRow, e
 		SimWorkers: s.SimWorkers,
 		Store:      s.Store,
 		Cache:      s.Cache,
+		Metrics:    s.Metrics,
 	}
 	sweepRows, err := sw.Run(onProgress)
 	if err != nil {

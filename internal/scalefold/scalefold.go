@@ -149,18 +149,26 @@ func (c StepConfig) simulate() cluster.Result {
 // (bit-identical legacy fields, by the determinism contract) and
 // overwritten with the full metrics.
 func (c StepConfig) simulateVia(st store.Store[cluster.Result], onErr func(error), m *SweepMetrics) cluster.Result {
+	r, _ := c.simulateViaSrc(st, onErr, m)
+	return r
+}
+
+// simulateViaSrc is simulateVia plus the resolution source — "store-hit" when
+// the persistent store satisfied the cell, "simulated" when the simulator ran
+// — which the sweep layer's cell-lifecycle tracing records as span metadata.
+func (c StepConfig) simulateViaSrc(st store.Store[cluster.Result], onErr func(error), m *SweepMetrics) (cluster.Result, string) {
 	if st == nil {
 		if m != nil {
 			m.Simulated.Add(1)
 		}
-		return c.simulate()
+		return c.simulate(), "simulated"
 	}
 	key := c.Fingerprint()
 	if r, ok := st.Get(key); ok && r.Goodput > 0 {
 		if m != nil {
 			m.StoreHits.Add(1)
 		}
-		return r
+		return r, "store-hit"
 	}
 	r := c.simulate()
 	if m != nil {
@@ -169,7 +177,7 @@ func (c StepConfig) simulateVia(st store.Store[cluster.Result], onErr func(error
 	if err := st.Put(key, r); err != nil && onErr != nil {
 		onErr(err)
 	}
-	return r
+	return r, "simulated"
 }
 
 // RunVia resolves the configuration against an explicit store — store hit,

@@ -2,11 +2,14 @@ package scalefold
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/perturb"
 	"repro/internal/scenario"
 	"repro/internal/store"
@@ -99,6 +102,13 @@ type SweepSpec struct {
 	// fails the whole sweep: Run returns the first one after the engine
 	// drains, with the affected rows carrying zero Results.
 	Runner func(c StepConfig) (cluster.Result, error)
+	// Trace, when non-nil, records one cat="cell" lifecycle span per settled
+	// cell: locally resolved cells (store hit or simulation) land on a
+	// "local-N" engine-slot lane, memo-settled cells on the "memo" lane.
+	// Cells the Runner resolves are NOT spanned here — the Runner's owner
+	// (the fabric layer) records them with true worker attribution, so every
+	// cell appears exactly once whoever executed it.
+	Trace *obs.Tracer
 }
 
 // SweepMetrics counts how the cells of a Run were satisfied. All fields are
@@ -359,15 +369,18 @@ func (s SweepSpec) Run(onProgress func(sweep.Progress)) ([]SweepRow, error) {
 	}
 	var runnerMu sync.Mutex
 	var runnerErr error
-	body := func(c StepConfig) cluster.Result { return c.simulateVia(st, onErr, s.Metrics) }
+	// bodySrc resolves one cold cell and reports how: "store-hit",
+	// "simulated", "remote" (Runner-resolved; spanned by the Runner's owner)
+	// or "error" (Runner failure; no span).
+	bodySrc := func(c StepConfig) (cluster.Result, string) { return c.simulateViaSrc(st, onErr, s.Metrics) }
 	if s.Runner != nil {
-		body = func(c StepConfig) cluster.Result {
+		bodySrc = func(c StepConfig) (cluster.Result, string) {
 			if st != nil {
 				if r, ok := st.Get(c.Fingerprint()); ok && r.Goodput > 0 {
 					if s.Metrics != nil {
 						s.Metrics.StoreHits.Add(1)
 					}
-					return r
+					return r, "store-hit"
 				}
 			}
 			r, err := s.Runner(c)
@@ -377,10 +390,41 @@ func (s SweepSpec) Run(onProgress func(sweep.Progress)) ([]SweepRow, error) {
 					runnerErr = err
 				}
 				runnerMu.Unlock()
-				return cluster.Result{}
+				return cluster.Result{}, "error"
 			}
 			if s.Metrics != nil {
 				s.Metrics.Remote.Add(1)
+			}
+			return r, "remote"
+		}
+	}
+	body := func(c StepConfig) cluster.Result {
+		r, _ := bodySrc(c)
+		return r
+	}
+	if s.Trace != nil {
+		// One trace lane per engine worker slot, recycled through a
+		// free-list so concurrent cells never share a lane. The lane name
+		// doubles as the owner attribution for locally resolved cells.
+		nlanes := s.Workers
+		if nlanes <= 0 {
+			nlanes = runtime.GOMAXPROCS(0)
+		}
+		lanes := make(chan int, nlanes)
+		for i := 0; i < nlanes; i++ {
+			lanes <- i
+		}
+		body = func(c StepConfig) cluster.Result {
+			lane := <-lanes
+			t0 := time.Now()
+			r, src := bodySrc(c)
+			end := time.Now()
+			lanes <- lane
+			if src == "store-hit" || src == "simulated" {
+				owner := "local-" + strconv.Itoa(lane)
+				s.Trace.Span(owner, c.Name, "cell", t0, end, map[string]string{
+					"owner": owner, "source": src, "key": c.Fingerprint(),
+				})
 			}
 			return r
 		}
@@ -398,10 +442,19 @@ func (s SweepSpec) Run(onProgress func(sweep.Progress)) ([]SweepRow, error) {
 		cache = stepCache
 	}
 	var onResult func(int, cluster.Result, bool)
-	if s.OnRow != nil || s.Metrics != nil {
+	if s.OnRow != nil || s.Metrics != nil || s.Trace != nil {
 		onResult = func(ci int, r cluster.Result, cached bool) {
-			if cached && s.Metrics != nil {
-				s.Metrics.MemoHits.Add(1)
+			if cached {
+				if s.Metrics != nil {
+					s.Metrics.MemoHits.Add(1)
+				}
+				// Memo-settled cells never touched bodySrc: record their
+				// zero-duration span here so trace coverage stays exactly
+				// one span per cell.
+				now := time.Now()
+				s.Trace.Span("memo", cells[ci].Label, "cell", now, now, map[string]string{
+					"owner": "memo", "source": "memo", "key": cells[ci].Key,
+				})
 			}
 			if s.OnRow != nil {
 				ri := cellRow[ci]

@@ -109,6 +109,29 @@ func (c *Client) StoreStatus() (StoreStatus, error) {
 	return st, decode(resp, &st)
 }
 
+// Trace downloads a job's Chrome trace-event JSON (GET /v1/jobs/{id}/trace)
+// and copies it to w verbatim — what `scalefold trace` writes to its output
+// file.
+func (c *Client) Trace(id string, w io.Writer) error {
+	resp, err := c.http().Get(c.url("/v1/jobs/" + id + "/trace"))
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		var ae apiError
+		if json.Unmarshal(body, &ae) == nil && ae.Error != "" {
+			return fmt.Errorf("service: %s (HTTP %d)", ae.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("service: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	return nil
+}
+
 // Stream follows a job's NDJSON stream to completion. onRow (optional)
 // receives each RowEvent as it arrives; returning an error aborts the
 // stream. Stream returns the terminal DoneEvent.

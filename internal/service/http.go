@@ -14,8 +14,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/store", s.handleStore)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	if s.coord != nil {
 		s.coord.Mount(mux) // /v1/workers fleet protocol (coordinator mode)
 	}
@@ -125,7 +127,29 @@ func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
-		OK bool `json:"ok"`
-	}{OK: true})
+	writeJSON(w, http.StatusOK, s.Health())
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format —
+// service, store and (coordinator mode) fabric series in one scrape.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+// handleTrace serves the job's cell-lifecycle spans as Chrome trace-event
+// JSON — loadable as-is in chrome://tracing or Perfetto, same format the
+// simulator's own Timeline export uses. Valid at any point in the job's life;
+// a still-running job yields the spans settled so far.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job " + r.PathValue("id")})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="`+j.id+`-trace.json"`)
+	j.trace.WriteChromeTrace(w)
 }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/scalefold"
 )
 
@@ -20,6 +21,14 @@ type job struct {
 
 	metrics   scalefold.SweepMetrics
 	cancelled atomic.Bool
+
+	// trace records one lifecycle span per settled cell (local, memo or
+	// remote lanes), served by GET /v1/jobs/{id}/trace. Created at Submit;
+	// immutable pointer, internally synchronized.
+	trace *obs.Tracer
+	// onState, when set, observes every lifecycle transition (the server's
+	// gauge bookkeeping). Called under j.mu; must not block.
+	onState func(from, to string)
 
 	// stop, when set (by runJob, before dispatch starts), is fired on cancel
 	// to abort remote waits — cells parked in fabric Execute calls — that the
@@ -49,8 +58,12 @@ func (j *job) start() {
 	// A queued job can be cancel-finalized between the scheduler's dequeue
 	// and this call; never resurrect a settled job.
 	if !j.finishedLocked() {
+		from := j.state
 		now := time.Now()
 		j.state, j.started = StateRunning, &now
+		if j.onState != nil {
+			j.onState(from, StateRunning)
+		}
 		j.wakeLocked()
 	}
 	j.mu.Unlock()
@@ -119,8 +132,12 @@ func (j *job) finalizeLocked(state string, err error) {
 	if j.finishedLocked() {
 		return
 	}
+	from := j.state
 	now := time.Now()
 	j.state, j.finished = state, &now
+	if j.onState != nil {
+		j.onState(from, state)
+	}
 	if err != nil {
 		j.err = err.Error()
 	}

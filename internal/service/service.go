@@ -13,19 +13,24 @@
 //	GET    /v1/jobs/{id}        one job's status
 //	GET    /v1/jobs/{id}/stream NDJSON RowEvents, ending with a DoneEvent
 //	POST   /v1/jobs/{id}/cancel cancel a queued or running job
+//	GET    /v1/jobs/{id}/trace  Chrome trace-event JSON of the job's cells
 //	GET    /v1/store            persistent-store statistics
-//	GET    /v1/healthz          liveness
+//	GET    /v1/healthz          liveness + uptime, build and queue summary
+//	GET    /v1/metrics          Prometheus text exposition
 package service
 
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/scalefold"
 	"repro/internal/scenario"
 	"repro/internal/store"
@@ -57,6 +62,13 @@ type Config struct {
 	// /v1/workers endpoints instead of simulated in-process. The zero
 	// fabric.Config is valid (protocol defaults apply).
 	Fabric *fabric.Config
+	// Registry collects the server's metrics (job lifecycle, store latencies,
+	// fabric queue depths) for GET /v1/metrics. nil mints a private registry,
+	// so the endpoint always serves; pass one to share series with other
+	// subsystems in the same process.
+	Registry *obs.Registry
+	// Log receives structured server diagnostics. nil discards them.
+	Log *slog.Logger
 }
 
 // persistentStore is the slice of Disk/Shared the server drives beyond the
@@ -72,12 +84,17 @@ type persistentStore interface {
 // Server owns the job queue, the shared worker pool and the result store.
 // Create with New, serve its Handler, and Close it on shutdown.
 type Server struct {
-	cfg    Config
-	st     store.Store[cluster.Result]
-	disk   persistentStore     // nil when memory-only
-	coord  *fabric.Coordinator // nil unless coordinator mode
-	legacy int                 // pre-Version store keys counted at open
-	slots  chan struct{}       // shared simulation-concurrency pool
+	cfg      Config
+	st       store.Store[cluster.Result]
+	disk     persistentStore     // nil when memory-only
+	coord    *fabric.Coordinator // nil unless coordinator mode
+	legacy   int                 // pre-Version store keys counted at open
+	slots    chan struct{}       // shared simulation-concurrency pool
+	reg      *obs.Registry
+	log      *slog.Logger
+	met      svcMetrics
+	started  time.Time
+	revision string // VCS revision from build info, "" when unstamped
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -87,6 +104,45 @@ type Server struct {
 
 	queue chan *job
 	wg    sync.WaitGroup
+}
+
+// svcMetrics bundles the server's own observability series: job lifecycle
+// gauges and counters. Store and fabric series live in their layers, wired to
+// the same registry at New.
+type svcMetrics struct {
+	reg       *obs.Registry
+	submitted *obs.Counter
+	queued    *obs.Gauge
+	running   *obs.Gauge
+}
+
+func newSvcMetrics(r *obs.Registry) svcMetrics {
+	return svcMetrics{
+		reg:       r,
+		submitted: r.Counter("scalefold_service_jobs_submitted_total", "Jobs accepted by POST /v1/jobs."),
+		queued:    r.Gauge("scalefold_service_jobs_queued", "Jobs waiting for a scheduler slot."),
+		running:   r.Gauge("scalefold_service_jobs_running", "Jobs currently executing."),
+	}
+}
+
+// jobState is the job lifecycle hook: it keeps the queued/running gauges
+// consistent across every transition (including cancel-while-queued) and
+// counts terminal states. Called under the job's mutex; every operation here
+// is lock-free, so no ordering constraint is violated.
+func (m svcMetrics) jobState(from, to string) {
+	switch from {
+	case StateQueued:
+		m.queued.Add(-1)
+	case StateRunning:
+		m.running.Add(-1)
+	}
+	switch to {
+	case StateRunning:
+		m.running.Add(1)
+	case StateDone, StateCancelled, StateFailed:
+		m.reg.Counter("scalefold_service_jobs_finished_total",
+			"Jobs reaching a terminal state.", obs.Label{Key: "state", Value: to}).Inc()
+	}
 }
 
 // New opens the store (replaying any existing segments) and starts the
@@ -104,12 +160,30 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxFinishedJobs <= 0 {
 		cfg.MaxFinishedJobs = 256
 	}
-	s := &Server{
-		cfg:   cfg,
-		slots: make(chan struct{}, cfg.Workers),
-		jobs:  map[string]*job{},
-		queue: make(chan *job, cfg.QueueLimit),
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
 	}
+	if cfg.Log == nil {
+		cfg.Log = slog.New(slog.DiscardHandler)
+	}
+	s := &Server{
+		cfg:     cfg,
+		slots:   make(chan struct{}, cfg.Workers),
+		jobs:    map[string]*job{},
+		queue:   make(chan *job, cfg.QueueLimit),
+		reg:     cfg.Registry,
+		log:     cfg.Log,
+		met:     newSvcMetrics(cfg.Registry),
+		started: time.Now(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				s.revision = kv.Value
+			}
+		}
+	}
+	storeKind := "mem"
 	switch {
 	case cfg.StoreDir != "" && cfg.Fabric != nil:
 		// A coordinator shares its store directory with the worker fleet,
@@ -121,14 +195,21 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.disk, s.st = sh, sh
+		storeKind = "shared"
 	case cfg.StoreDir != "":
 		d, err := store.OpenDisk[cluster.Result](cfg.StoreDir)
 		if err != nil {
 			return nil, err
 		}
 		s.disk, s.st = d, d
+		storeKind = "disk"
 	default:
 		s.st = store.NewMem[cluster.Result]()
+	}
+	// Every store implementation can carry metrics; attach the server's
+	// registry so lookup/append latencies and hit ratios are exported.
+	if sm, ok := s.st.(interface{ SetMetrics(*store.Metrics) }); ok {
+		sm.SetMetrics(store.NewMetrics(s.reg, storeKind))
 	}
 	// Legacy keys can only come from a pre-upgrade store on disk: every key
 	// written from here on carries the current version prefix, so the count
@@ -139,7 +220,16 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	if cfg.Fabric != nil {
-		s.coord = fabric.NewCoordinator(*cfg.Fabric, s.st)
+		// Share the server's registry and logger with the coordinator unless
+		// the fabric config brought its own.
+		fc := *cfg.Fabric
+		if fc.Registry == nil {
+			fc.Registry = s.reg
+		}
+		if fc.Log == nil {
+			fc.Log = s.log
+		}
+		s.coord = fabric.NewCoordinator(fc, s.st)
 	}
 	for i := 0; i < cfg.MaxActiveJobs; i++ {
 		s.wg.Add(1)
@@ -206,11 +296,17 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 		cells:   sw.Cells(),
 		created: time.Now(),
 		notify:  make(chan struct{}),
+		trace:   obs.NewTracer(),
+		onState: s.met.jobState,
 	}
+	// Count the job queued before it is visible to a scheduler: start() fires
+	// the queued→running transition as soon as a worker dequeues it.
+	s.met.queued.Add(1)
 	select {
 	case s.queue <- j:
 	default:
 		s.seq--
+		s.met.queued.Add(-1)
 		s.mu.Unlock()
 		return JobStatus{}, &QueueFullError{Limit: s.cfg.QueueLimit}
 	}
@@ -218,6 +314,8 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	s.order = append(s.order, j.id)
 	s.pruneLocked()
 	s.mu.Unlock()
+	s.met.submitted.Inc()
+	s.log.Info("job submitted", "job", j.id, "cells", j.cells)
 	return j.status(), nil
 }
 
@@ -326,6 +424,7 @@ func (s *Server) runJob(j *job) {
 	sw.Store = s.st
 	sw.OnStoreErr = j.noteStoreErr
 	sw.Metrics = &j.metrics
+	sw.Trace = j.trace
 	sw.Workers = j.spec.Workers
 	if s.coord != nil {
 		// Coordinator mode: store-miss cells are dispatched to the fleet, so
@@ -346,7 +445,24 @@ func (s *Server) runJob(j *job) {
 			cancel() // cancelled between the queued check and hook install
 		}
 		sw.Runner = func(c scalefold.StepConfig) (cluster.Result, error) {
-			return s.coord.Execute(ctx, c)
+			res, rep, err := s.coord.ExecuteReport(ctx, c)
+			if err != nil {
+				return res, err
+			}
+			// The sweep layer deliberately leaves Runner-resolved cells
+			// unspanned (see SweepSpec.Trace): record them here with the
+			// coordinator's true attribution — the settling worker's ID (or
+			// "coordinator" for its store fast path) and the worker-side
+			// claim→settle execution window — so every cell appears in the
+			// job trace exactly once whoever executed it.
+			start, end := rep.Claimed, rep.Settled
+			if start.IsZero() {
+				start = end
+			}
+			j.trace.Span(rep.Owner, c.Name, "cell", start, end, map[string]string{
+				"owner": rep.Owner, "source": rep.Source, "key": rep.Key,
+			})
+			return res, nil
 		}
 		sw.Gate = func(run func()) {
 			if j.cancelled.Load() {
@@ -402,9 +518,49 @@ func (s *Server) runJob(j *job) {
 		// Cancellation wins over failure: aborting remote dispatch makes the
 		// runner surface a context error, but the user asked for cancel.
 		j.finalize(StateCancelled, nil)
+		s.log.Info("job cancelled", "job", j.id)
 	case err != nil:
 		j.finalize(StateFailed, err)
+		s.log.Error("job failed", "job", j.id, "err", err)
 	default:
 		j.finalize(StateDone, nil)
+		s.log.Info("job done", "job", j.id,
+			"simulated", j.metrics.Simulated.Load(),
+			"store_hits", j.metrics.StoreHits.Load(),
+			"memo_hits", j.metrics.MemoHits.Load(),
+			"remote", j.metrics.Remote.Load())
 	}
+}
+
+// Health snapshots the server for GET /v1/healthz: liveness plus uptime,
+// build identity, job-queue depths and (in coordinator mode) fleet size.
+func (s *Server) Health() HealthStatus {
+	h := HealthStatus{
+		OK:        true,
+		UptimeSec: time.Since(s.started).Seconds(),
+		GoVersion: runtime.Version(),
+		Revision:  s.revision,
+		StoreKeys: s.st.Len(),
+	}
+	s.mu.Lock()
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		switch j.state {
+		case StateQueued:
+			h.JobsQueued++
+		case StateRunning:
+			h.JobsRunning++
+		default:
+			h.JobsFinished++
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	if s.coord != nil {
+		fs := s.coord.Fleet()
+		h.FleetWorkers = len(fs.Workers)
+		h.PendingCells = fs.Pending + fs.Inflight
+	}
+	return h
 }

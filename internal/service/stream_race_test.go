@@ -1,6 +1,7 @@
 package service
 
 import (
+	"io"
 	"sync"
 	"testing"
 )
@@ -42,6 +43,21 @@ func TestStreamFollowersRaceCompletionCancelAndPrune(t *testing.T) {
 				c.Cancel(id)
 			}(st.ID)
 		}
+		// Observability endpoints join the stampede: the metrics scrape
+		// walks every registry series, healthz takes each job's mutex, and
+		// the trace download snapshots a tracer that cells are appending to
+		// — all while jobs finalize, cancel, and get pruned under them.
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for _, path := range []string{"/v1/metrics", "/v1/healthz"} {
+				if resp, err := c.http().Get(c.url(path)); err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+			c.Trace(id, io.Discard) // 404 after eviction is a legitimate end
+		}(st.ID)
 	}
 	wg.Wait()
 	for _, j := range c.mustJobs(t) {

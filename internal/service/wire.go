@@ -158,6 +158,27 @@ type DoneEvent struct {
 	Error     string `json:"error,omitempty"`
 }
 
+// HealthStatus is the wire form of GET /v1/healthz: liveness (always OK when
+// the server answers at all) plus enough context to read a dashboard without
+// three more requests — uptime, build identity, queue depths and fleet size.
+type HealthStatus struct {
+	OK        bool    `json:"ok"`
+	UptimeSec float64 `json:"uptime_s"`
+	GoVersion string  `json:"go_version"`
+	// Revision is the VCS revision stamped into the binary ("" for
+	// unstamped builds, e.g. `go test`).
+	Revision string `json:"revision,omitempty"`
+	// Job-queue depths by lifecycle stage.
+	JobsQueued   int `json:"jobs_queued"`
+	JobsRunning  int `json:"jobs_running"`
+	JobsFinished int `json:"jobs_finished"`
+	StoreKeys    int `json:"store_keys"`
+	// FleetWorkers and PendingCells are coordinator-mode only: live
+	// registered workers and cells queued or assigned on the fabric.
+	FleetWorkers int `json:"fleet_workers,omitempty"`
+	PendingCells int `json:"pending_cells,omitempty"`
+}
+
 // StoreStatus is the wire form of GET /v1/store.
 type StoreStatus struct {
 	Keys int `json:"keys"`

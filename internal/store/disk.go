@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"syscall"
 )
 
@@ -48,6 +49,14 @@ type Disk[R any] struct {
 	torn    bool // last write failed: rotate before appending again
 	dropped int
 	closed  bool
+	met     atomic.Pointer[Metrics]
+}
+
+// SetMetrics attaches (or, with nil, detaches) observability series. Safe to
+// call at any time, including while the store is in use.
+func (d *Disk[R]) SetMetrics(m *Metrics) {
+	d.met.Store(m)
+	m.records(d.Len())
 }
 
 // OpenDisk opens (creating if needed) a disk store rooted at dir and replays
@@ -127,9 +136,12 @@ func (d *Disk[R]) replay(path string) error {
 
 // Get returns the stored value for key, if any.
 func (d *Disk[R]) Get(key string) (R, bool) {
+	mt := d.met.Load()
+	t0 := mt.start()
 	d.mu.RLock()
-	defer d.mu.RUnlock()
 	v, ok := d.idx[key]
+	d.mu.RUnlock()
+	mt.lookup(t0, ok)
 	return v, ok
 }
 
@@ -149,6 +161,8 @@ func (d *Disk[R]) Put(key string, v R) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	line = append(line, '\n')
+	mt := d.met.Load()
+	t0 := mt.start()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
@@ -169,6 +183,7 @@ func (d *Disk[R]) Put(key string, v R) error {
 	}
 	d.segSize += int64(len(line))
 	d.idx[key] = v
+	mt.appended(t0, len(d.idx))
 	return nil
 }
 
@@ -188,6 +203,7 @@ func (d *Disk[R]) rotateLocked() error {
 		return fmt.Errorf("store: %w", err)
 	}
 	d.seg, d.segSize = f, 0
+	d.met.Load().rotated()
 	return nil
 }
 

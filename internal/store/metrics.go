@@ -1,0 +1,89 @@
+package store
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metrics collects a store's observability series: lookup/append latency
+// histograms, hit/miss counters, and index-size/segment gauges. Attach one
+// with SetMetrics on Mem, Disk or Shared; a nil *Metrics keeps the store
+// completely uninstrumented (no clock reads, no atomic writes).
+//
+// Build one by hand for tests, or with NewMetrics to register the standard
+// scalefold_store_* series in an obs.Registry.
+type Metrics struct {
+	Lookup   *obs.Histogram // Get latency, seconds (lock wait included)
+	Append   *obs.Histogram // Put latency, seconds (encode + write included)
+	Hits     *obs.Counter   // lookups that found a value
+	Misses   *obs.Counter   // lookups that did not
+	Records  *obs.Gauge     // keys in the in-memory index
+	Segments *obs.Gauge     // segment files opened by this writer (0 for Mem)
+}
+
+// NewMetrics registers the standard store series in r, labeled store=name,
+// and returns them bundled for SetMetrics. Returns nil (uninstrumented) on a
+// nil Registry.
+func NewMetrics(r *obs.Registry, name string) *Metrics {
+	if r == nil {
+		return nil
+	}
+	lbl := obs.Label{Key: "store", Value: name}
+	return &Metrics{
+		Lookup:   r.Histogram("scalefold_store_lookup_seconds", "Store Get latency in seconds.", nil, lbl),
+		Append:   r.Histogram("scalefold_store_append_seconds", "Store Put latency in seconds.", nil, lbl),
+		Hits:     r.Counter("scalefold_store_hits_total", "Store lookups that found a value.", lbl),
+		Misses:   r.Counter("scalefold_store_misses_total", "Store lookups that missed.", lbl),
+		Records:  r.Gauge("scalefold_store_records", "Keys in the store index.", lbl),
+		Segments: r.Gauge("scalefold_store_segments", "Segment files opened by this writer.", lbl),
+	}
+}
+
+// start returns the operation start time, or the zero time when
+// uninstrumented — the nil check that keeps time.Now() off bare runs.
+func (m *Metrics) start() time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// lookup settles one Get: latency since t0 plus the hit/miss outcome.
+func (m *Metrics) lookup(t0 time.Time, hit bool) {
+	if m == nil {
+		return
+	}
+	m.Lookup.ObserveSince(t0)
+	if hit {
+		m.Hits.Inc()
+	} else {
+		m.Misses.Inc()
+	}
+}
+
+// appended settles one Put: latency since t0 and the new index size.
+func (m *Metrics) appended(t0 time.Time, records int) {
+	if m == nil {
+		return
+	}
+	m.Append.ObserveSince(t0)
+	m.Records.Set(int64(records))
+}
+
+// records refreshes the index-size gauge (used by refresh paths that grow
+// the index without a Put).
+func (m *Metrics) records(n int) {
+	if m == nil {
+		return
+	}
+	m.Records.Set(int64(n))
+}
+
+// rotated counts one new segment file.
+func (m *Metrics) rotated() {
+	if m == nil {
+		return
+	}
+	m.Segments.Add(1)
+}

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 )
 
@@ -46,6 +47,14 @@ type Shared[R any] struct {
 	torn    bool
 	dropped int
 	closed  bool
+	met     atomic.Pointer[Metrics]
+}
+
+// SetMetrics attaches (or, with nil, detaches) observability series. Safe to
+// call at any time, including while the store is in use.
+func (s *Shared[R]) SetMetrics(m *Metrics) {
+	s.met.Store(m)
+	m.records(s.Len())
 }
 
 // OpenShared opens (creating if needed) a shared store rooted at dir, writing
@@ -250,13 +259,18 @@ func (s *Shared[R]) refreshLocked() (int, error) {
 // Refresh — the "any worker's finished cell is every worker's memo hit"
 // path — before giving up.
 func (s *Shared[R]) Get(key string) (R, bool) {
+	mt := s.met.Load()
+	t0 := mt.start()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if v, ok := s.idx[key]; ok {
-		return v, true
-	}
-	s.refreshLocked() // best-effort: a read error just means a miss
 	v, ok := s.idx[key]
+	if !ok {
+		s.refreshLocked() // best-effort: a read error just means a miss
+		v, ok = s.idx[key]
+	}
+	n := len(s.idx)
+	s.mu.Unlock()
+	mt.lookup(t0, ok)
+	mt.records(n)
 	return v, ok
 }
 
@@ -277,6 +291,8 @@ func (s *Shared[R]) Put(key string, v R) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	line = append(line, '\n')
+	mt := s.met.Load()
+	t0 := mt.start()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -293,6 +309,7 @@ func (s *Shared[R]) Put(key string, v R) error {
 	}
 	s.segSize += int64(len(line))
 	s.idx[key] = v
+	mt.appended(t0, len(s.idx))
 	return nil
 }
 
@@ -311,6 +328,7 @@ func (s *Shared[R]) rotateLocked() error {
 		return fmt.Errorf("store: %w", err)
 	}
 	s.seg, s.segSize = f, 0
+	s.met.Load().rotated()
 	return nil
 }
 

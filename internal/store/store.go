@@ -13,6 +13,7 @@ package store
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Store is the persistence interface the scalefold memo sits on. Get and Put
@@ -33,26 +34,41 @@ type Store[R any] interface {
 // Mem is an in-memory Store: process-lifetime persistence only. Useful for
 // tests and for running the sweep service without a disk directory.
 type Mem[R any] struct {
-	mu sync.RWMutex
-	m  map[string]R
+	mu  sync.RWMutex
+	m   map[string]R
+	met atomic.Pointer[Metrics]
 }
 
 // NewMem returns an empty in-memory store.
 func NewMem[R any]() *Mem[R] { return &Mem[R]{m: map[string]R{}} }
 
+// SetMetrics attaches (or, with nil, detaches) observability series. Safe to
+// call at any time, including while the store is in use.
+func (s *Mem[R]) SetMetrics(m *Metrics) {
+	s.met.Store(m)
+	m.records(s.Len())
+}
+
 // Get returns the stored value for key, if any.
 func (s *Mem[R]) Get(key string) (R, bool) {
+	mt := s.met.Load()
+	t0 := mt.start()
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	v, ok := s.m[key]
+	s.mu.RUnlock()
+	mt.lookup(t0, ok)
 	return v, ok
 }
 
 // Put stores the value under key. It never fails.
 func (s *Mem[R]) Put(key string, v R) error {
+	mt := s.met.Load()
+	t0 := mt.start()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.m[key] = v
+	n := len(s.m)
+	s.mu.Unlock()
+	mt.appended(t0, n)
 	return nil
 }
 
