@@ -24,6 +24,7 @@ import (
 	"repro/internal/perturb"
 	"repro/internal/pipeline"
 	"repro/internal/scalefold"
+	"repro/internal/scenario"
 	"repro/internal/sweep"
 	"repro/internal/workload"
 )
@@ -411,6 +412,84 @@ func BenchmarkSweep24Cells(b *testing.B) {
 			hitRate = 100 * float64(hits) / float64(total)
 		}
 		b.ReportMetric(hitRate, "memo-hit-%")
+	})
+}
+
+// ---------- Analytic fast path ----------
+
+// relDurErr is |got-want|/want for durations (0 when want is 0).
+func relDurErr(got, want time.Duration) float64 {
+	if want == 0 {
+		return 0
+	}
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return float64(d) / float64(want)
+}
+
+// BenchmarkAnalyticVsExact prices the closed-form estimator against the
+// exact simulator on the default 24-cell exploration grid (cold cache, no
+// store): cells/s for each mode, their ratio (speedup-x — the analytic
+// acceptance floor is 100x), and the worst relative mean-step error the
+// estimate showed against the exact rows of the same grid order. CI uploads
+// the pair as BENCH_analytic.json.
+func BenchmarkAnalyticVsExact(b *testing.B) {
+	modeSpec := func(mode string) scalefold.SweepSpec {
+		s := scalefold.DefaultSweepSpec()
+		s.Mode = mode
+		s.Cache = sweep.NewCache[cluster.Result]()
+		s.Metrics = &scalefold.SweepMetrics{}
+		return s
+	}
+	const cells = 24
+	var exactRows []scalefold.SweepRow
+	var exactCellsPerSec float64
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := modeSpec("")
+			rows, err := s.Run(nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			exactRows = rows
+		}
+		exactCellsPerSec = cells * float64(b.N) * float64(time.Second) / float64(b.Elapsed())
+		b.ReportMetric(exactCellsPerSec, "cells/s")
+	})
+	b.Run("analytic", func(b *testing.B) {
+		// One untimed pass warms the estimator's process-global census memo
+		// (shared with figure runs), so the timed passes price steady-state
+		// estimation — the memo cache and store stay cold, as in exact.
+		if _, err := modeSpec(scenario.ModeAnalytic).Run(nil); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		var rows []scalefold.SweepRow
+		for i := 0; i < b.N; i++ {
+			s := modeSpec(scenario.ModeAnalytic)
+			var err error
+			if rows, err = s.Run(nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		perSec := cells * float64(b.N) * float64(time.Second) / float64(b.Elapsed())
+		b.ReportMetric(perSec, "cells/s")
+		if exactCellsPerSec > 0 {
+			b.ReportMetric(perSec/exactCellsPerSec, "speedup-x")
+		}
+		// Fidelity against the exact sub-benchmark's rows (same grid order);
+		// absent when the analytic sub runs alone via -bench filtering.
+		if len(exactRows) == len(rows) {
+			var maxErr float64
+			for i, r := range rows {
+				if e := relDurErr(r.Res.MeanStep, exactRows[i].Res.MeanStep); e > maxErr {
+					maxErr = e
+				}
+			}
+			b.ReportMetric(100*maxErr, "max-meanstep-err-%")
+		}
 	})
 }
 

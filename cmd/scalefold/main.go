@@ -170,7 +170,7 @@ type axisFlags struct {
 	profile, scenarios       *string
 	seeds, steps, workers    *int
 	simWorkers               *int
-	perturb                  *string
+	perturb, mode            *string
 }
 
 func addAxisFlags(fs *flag.FlagSet) *axisFlags {
@@ -194,7 +194,32 @@ identical for every value)`),
 			`perturbation spec: a JSON file path, or inline JSON starting with "{"
 (stragglers/stalls/failures; see docs/cli.md); applied to every grid
 cell and to explicit scenarios without their own "perturb" block`),
+		mode: fs.String("mode", "",
+			`result resolution mode: "exact" (default; run the simulator),
+"analytic" (closed-form estimate with error bounds), or "auto"
+(estimate, escalating to exact the cells whose bounds straddle a
+decision boundary); applied to every grid cell and to explicit
+scenarios without their own "mode" field`),
 	}
+}
+
+// checkMode validates a -mode flag value against the recognized resolution
+// modes. Split from parseMode so the message is testable without os.Exit.
+func checkMode(v string) error {
+	if !scenario.ValidMode(v) {
+		return fmt.Errorf("unknown mode %q (want one of %v)", v, scenario.Modes)
+	}
+	return nil
+}
+
+// parseMode resolves a -mode flag value; an unknown spelling exits 2 listing
+// the valid set, mirroring the server's 400 at POST /v1/jobs.
+func parseMode(cmd, v string) string {
+	if err := checkMode(v); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: -mode: %v\n", cmd, err)
+		os.Exit(2)
+	}
+	return v
 }
 
 // parsePerturb resolves a -perturb flag value: empty means none, a value
@@ -266,6 +291,7 @@ func (a *axisFlags) jobSpec(cmd string) service.JobSpec {
 		Workers:    *a.workers,
 		SimWorkers: *a.simWorkers,
 		Perturb:    parsePerturb(cmd, *a.perturb),
+		Mode:       parseMode(cmd, *a.mode),
 		Scenarios:  a.scenarioList(cmd),
 	}
 }
@@ -282,6 +308,7 @@ func (a *axisFlags) sweepSpec(cmd string) scalefold.SweepSpec {
 		Workers:    *a.workers,
 		SimWorkers: *a.simWorkers,
 		Perturb:    parsePerturb(cmd, *a.perturb),
+		Mode:       parseMode(cmd, *a.mode),
 		Scenarios:  a.scenarioList(cmd),
 	}
 }
@@ -455,6 +482,9 @@ cell)`)
 	steps := fs.Int("steps", 0, "simulated steps per cell (0 = simulator default)")
 	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 	simWorkers := fs.Int("sim-workers", 0, "goroutines sharding each simulation's per-rank work")
+	modeFlag := fs.String("mode", "", `result resolution mode: exact (default), analytic or auto
+(see sweep -mode); auto escalates exactly the cells whose goodput
+bounds straddle the resilience cliff`)
 	csvPath := fs.String("csv", "-", `CSV destination ("-" = stdout, "" = off)`)
 	storeDir := fs.String("store", "", `persistent result-store directory ("" = off)`)
 	quiet := fs.Bool("quiet", false, "suppress streaming progress on stderr")
@@ -470,6 +500,7 @@ cell)`)
 		Steps:       *steps,
 		Workers:     *workers,
 		SimWorkers:  *simWorkers,
+		Mode:        parseMode("resilience", *modeFlag),
 	}
 	if *storeDir != "" {
 		ds, err := store.OpenDisk[cluster.Result](*storeDir)

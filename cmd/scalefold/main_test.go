@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/docs"
+	"repro/internal/scenario"
 )
 
 func TestUnknownCommandPrintsDocumentedListAndExits2(t *testing.T) {
@@ -28,6 +29,29 @@ func TestUnknownCommandPrintsDocumentedListAndExits2(t *testing.T) {
 	}
 	if !strings.Contains(out, "scalefold help") {
 		t.Fatalf("message must point at the full reference:\n%s", out)
+	}
+}
+
+// TestCheckModeListsValidSet pins the CLI half of -mode hardening: every
+// recognized spelling passes, anything else is the exit-2 error naming the
+// offender and listing the valid set (parseMode prints it and exits).
+func TestCheckModeListsValidSet(t *testing.T) {
+	for _, ok := range append([]string{""}, scenario.Modes...) {
+		if err := checkMode(ok); err != nil {
+			t.Errorf("checkMode(%q) = %v, want nil", ok, err)
+		}
+	}
+	err := checkMode("psychic")
+	if err == nil {
+		t.Fatal("checkMode accepted an unknown mode")
+	}
+	if !strings.Contains(err.Error(), `"psychic"`) {
+		t.Errorf("error %q does not name the offending mode", err)
+	}
+	for _, want := range scenario.Modes {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not list valid mode %q", err, want)
+		}
 	}
 }
 

@@ -1,0 +1,489 @@
+// Package analytic is the closed-form twin of the exact step simulator: it
+// composes what the codebase already derives piecewise — the deterministic
+// kernel/comm/pipeline breakdown, max-of-n order statistics over the
+// per-rank jitter exposure, and the 1-(1-p)^ranks restart model — into a
+// cluster.Result estimate in microseconds instead of milliseconds, with an
+// explicit error Bound attached to every stochastic field.
+//
+// The deterministic skeleton (roofline kernel times, collective schedule,
+// graph capture, GC pauses, the gradient-clip overlap) mirrors
+// cluster.Simulate exactly, so those components are not estimates at all.
+// The stochastic components — execution jitter at sync barriers, CPU-peak
+// and straggler delays, data-pipeline waits, and the perturbation layer's
+// slowdowns/stalls/failures — are modeled by expectation and order
+// statistics: a barrier-synced step ends when its slowest rank does, so
+// each noise source contributes roughly E[max over ranks], not the mean.
+//
+// The contract is containment, not precision: the exact simulator's value
+// for the same scenario lands inside each stated Bound (pinned by the
+// fidelity property test in package scalefold), and the bound's width is
+// the estimator's honest statement of how much the answer could move. Auto
+// mode uses exactly that statement: a cell escalates to exact simulation
+// only when its bound straddles a decision boundary (ShouldEscalate).
+package analytic
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/comm"
+	"repro/internal/dap"
+	"repro/internal/dataset"
+	"repro/internal/gpu"
+	"repro/internal/model"
+	"repro/internal/pipeline"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+// censusCache memoizes lowered kernel censuses exactly like package
+// scalefold does — censuses are immutable derivations of the model config,
+// shared across every scenario that spells the same options.
+var censusCache = sweep.NewCache[*workload.Program]()
+
+func censusFor(cen workload.Options) *workload.Program {
+	prog, _ := censusCache.Do(scenario.CanonicalCensus(cen), func() *workload.Program {
+		return workload.Census(model.FullConfig(), cen)
+	})
+	return prog
+}
+
+// sampleRanks is how many pseudo-ranks the data-wait estimate replays
+// through the pipeline model. The replay is the estimator's only
+// non-closed-form component and its cost ceiling; four ranks of one warm
+// epoch each keep it in the tens of microseconds while sampling the
+// per-rank prep-time streams the simulator would use verbatim — for
+// scenarios with ranks <= sampleRanks the waits are exact.
+const sampleRanks = 4
+
+// prepCache memoizes the sampled per-rank prep-time draws. The draws are a
+// pure function of (seed, prep model, pseudo-rank, epoch length) — every
+// cell of a grid sweep shares them — and producing one draw re-seeds a
+// keyed math/rand source (~10µs to refill its lagged-Fibonacci state),
+// which profiling shows is ~90% of a cold Estimate. One entry is a few
+// hundred bytes; callers treat the cached slice as read-only.
+var prepCache = sweep.NewCache[[]time.Duration]()
+
+// sampledPrepTimes returns pseudo-rank r's prep-time stream for one warm
+// epoch, bit-identical to the draws the exact simulator's generator would
+// produce for the same seed and indices.
+func sampledPrepTimes(seed int64, m dataset.PrepTimeModel, r, epoch int) []time.Duration {
+	key := fmt.Sprintf("%d|%d|%d|%v", seed, r, epoch, m)
+	prep, _ := prepCache.Do(key, func() []time.Duration {
+		gs := dataset.NewGenerator(seed + 101).Sampler()
+		pt := m.Timer()
+		prep := make([]time.Duration, epoch)
+		for k := range prep {
+			idx := r*epoch + k
+			seqLen, msaSize := gs.Geometry(idx)
+			prep[k] = pt.DurationAt(idx, seqLen, msaSize, seed+int64(r))
+		}
+		return prep
+	})
+	return prep
+}
+
+// Estimate produces a closed-form cluster.Result for the scenario plus the
+// error Bounds attached to every stochastic field. The scenario's Mode is
+// ignored here — an estimate describes the same physical scenario whatever
+// key generation it is stored under; mode handling (store keys, escalation)
+// belongs to the sweep layer. Invalid scenarios return the same typed error
+// Validate would.
+func Estimate(s scenario.Scenario) (cluster.Result, Bounds, error) {
+	o, err := s.Options()
+	if err != nil {
+		return cluster.Result{}, Bounds{}, err
+	}
+	n, err := s.Normalize()
+	if err != nil {
+		return cluster.Result{}, Bounds{}, err
+	}
+	ranks := n.Ranks
+	plan, err := dap.NewPlan(ranks, n.DAP)
+	if err != nil {
+		return cluster.Result{}, Bounds{}, err
+	}
+	prog := censusFor(n.Census)
+
+	// --- Deterministic skeleton, mirroring cluster.Simulate's census pass,
+	// collective schedule, graph capture and GC model bit for bit.
+	exposeCPU := !o.CUDAGraph && !o.ZeroLaunchOverhead
+	var gpuCompute, serialPart, cpuExposedBase time.Duration
+	var launches int
+	for _, g := range prog.Groups {
+		if o.ZeroSerial && g.Serial {
+			continue
+		}
+		perCall := o.Arch.KernelDuration(g.PerCallFlops(), g.PerCallBytes(), o.FlatEfficiency)
+		d := time.Duration(g.Calls) * perCall
+		gpuCompute += d
+		if g.Serial {
+			serialPart += d
+		}
+		launches += g.Calls
+		if exposeCPU {
+			if gap := o.Arch.LaunchOverhead - perCall; gap > 0 {
+				cpuExposedBase += time.Duration(g.Calls) * gap
+			}
+		}
+	}
+	var syncEvents int
+	var xferPerStep time.Duration
+	for _, sp := range prog.Syncs {
+		syncEvents += sp.Count
+		bytes := sp.Bytes
+		if o.ZeroCommVolume {
+			bytes = 0
+		}
+		xferPerStep += time.Duration(sp.Count) * o.Topo.Cost(sp.Op, plan.Degree, bytes)
+	}
+	var graphCapture time.Duration
+	if o.CUDAGraph {
+		graphs := gpu.NewGraphCache(0)
+		for key := 0; key < 4; key++ {
+			graphCapture += graphs.Launch(o.Arch, key, launches, o.CPU, 0)
+		}
+	}
+	intervals := syncEvents + 1
+	var cpuExposedStep time.Duration
+	if o.CUDAGraph {
+		cpuExposedStep = o.Arch.GraphReplayOverhead + gcCost(o.CPU, launches)
+	} else if !o.ZeroLaunchOverhead {
+		cpuExposedStep = cpuExposedBase + gcCost(o.CPU, launches)
+	}
+	march := plan.Degree > 1 && syncEvents > 0
+	nGroups, gsize := ranks, 1
+	var evCost time.Duration
+	if march {
+		nGroups, gsize = plan.DPWays, plan.Degree
+		evCost = xferPerStep / time.Duration(syncEvents)
+		if !o.CUDAGraph {
+			evCost += 2 * o.Arch.LaunchOverhead
+		}
+	}
+	perRankChunk := gpuCompute / time.Duration(intervals)
+	var xferAcc time.Duration
+	if march {
+		xferAcc = time.Duration(syncEvents) * evCost
+	}
+	arCost := o.Topo.AllReduce(plan.DPWays, prog.GradBytes/float64(plan.Degree))
+	clipTime := time.Duration(prog.ClipKernels) * o.Arch.LaunchOverhead
+	visible, _ := comm.OverlapGradClip(arCost, clipTime)
+	clipExposed := visible - arCost
+
+	// --- Data-pipeline waits: replay the simulator's own per-rank pipeline
+	// for a handful of sampled ranks (exact streams, exact warmup) instead
+	// of all of them. The sampled mean estimates the breakdown's DataWait;
+	// the sampled per-step maxima estimate the barrier's wait term.
+	warmup := 16
+	if o.Prefetch > warmup {
+		warmup = o.Prefetch
+	}
+	stepEstimate := gpuCompute + cpuExposedBase + xferPerStep
+	epoch := warmup + o.Steps + 16
+	rSample := sampleRanks
+	if ranks < rSample {
+		rSample = ranks
+	}
+	stepMaxWait := make([]time.Duration, o.Steps)
+	stepMeanWait := make([]float64, o.Steps)
+	var waitSum time.Duration
+	for r := 0; r < rSample; r++ {
+		prep := sampledPrepTimes(o.Seed, o.PrepModel, r, epoch)
+		tl := pipeline.AnalyticSim{PrepTimes: prep, Workers: o.Workers, Prefetch: o.Prefetch, NonBlocking: o.NonBlockingPipeline}.Run(stepEstimate)
+		for st := 0; st < o.Steps; st++ {
+			w := tl.Wait[warmup+st]
+			waitSum += w
+			stepMeanWait[st] += sec(w) / float64(rSample)
+			if w > stepMaxWait[st] {
+				stepMaxWait[st] = w
+			}
+		}
+	}
+	meanWait := sec(waitSum) / float64(rSample*o.Steps)
+	var waitBarrier float64
+	for _, w := range stepMaxWait {
+		waitBarrier += sec(w)
+	}
+	waitBarrier /= float64(o.Steps)
+	waitExact := ranks <= rSample // every rank was replayed: waits are exact
+	if o.PerfectBalance {
+		meanWait, waitBarrier, waitExact = 0, 0, true
+	}
+
+	// --- Stochastic extras at the step barrier: a step ends when its
+	// slowest rank does, so each noise source contributes an expected
+	// max-over-ranks, built from the same per-chunk parameters the
+	// simulator's advance() draws from.
+	peaksPerStep := o.CPU.PeakProb * 2
+	kernelsPerChunk := float64(launches) / float64(intervals)
+	if kernelsPerChunk < 1 {
+		kernelsPerChunk = 1
+	}
+	perKernelCV := 0.35
+	if o.CUDAGraph {
+		perKernelCV = 0.12
+	}
+	chunkCV := perKernelCV / math.Sqrt(kernelsPerChunk)
+	stragglerProb := o.CPU.StragglerProb
+	if o.CUDAGraph {
+		stragglerProb /= 15
+	}
+	cpuChunk := sec(cpuExposedStep) / float64(intervals)
+
+	var jIntra, jCross, jStrag, jPeak, sigmaStep float64
+	if !o.PerfectBalance {
+		var sigmaChunk float64
+		if march {
+			sigmaChunk = chunkCV * sec(perRankChunk)
+			// Within a group every sync barrier waits for the slowest of
+			// gsize ranks; across groups the final all-reduce waits for the
+			// slowest group-sum (sd ~ sigma*sqrt(intervals): the intervals'
+			// maxima are near-independent).
+			jIntra = float64(intervals) * sigmaChunk * maxGauss(gsize)
+			jCross = sigmaChunk * math.Sqrt(float64(intervals)) * maxGauss(nGroups)
+		} else {
+			sigmaChunk = chunkCV * sec(gpuCompute)
+			jCross = sigmaChunk * maxGauss(ranks)
+		}
+		sigmaStep = sigmaChunk * math.Sqrt(float64(intervals))
+		// Stragglers: rare exponential delays, stragglerProb per advance;
+		// the barrier sees roughly the largest of the k expected arrivals
+		// (E[max of k Exp(m)] = m*H_k ~ m*ln(1+k), smooth through k < 1).
+		if stragglerProb > 0 {
+			k := float64(ranks) * float64(intervals) * stragglerProb
+			jStrag = sec(o.CPU.StragglerMean) * math.Log1p(k)
+		}
+		// CPU peaks stretch the exposed-CPU share of a chunk by up to
+		// PeakStretch; the barrier sees ~the largest of the k expected
+		// uniform stretches (E[max of k U(0,1)] = k/(k+1)).
+		if cpuChunk > 0 && peaksPerStep > 0 {
+			k := float64(ranks) * peaksPerStep
+			jPeak = o.CPU.PeakStretch * cpuChunk * k / (k + 1)
+		}
+	}
+
+	// --- Perturbation closed forms (all zero on a healthy cluster).
+	p := o.Perturb.Normalize()
+	compute := sec(gpuCompute) + sec(cpuExposedStep)
+	var slowPt, slowHi, stallPt, stallHi float64
+	if p.SlowdownProb > 0 && p.SlowdownFactor > 1 {
+		// Persistent stragglers: each rank is slowed w.p. SlowdownProb by a
+		// factor drawn once from U[1, F]; the barrier tracks the slowest.
+		// With k expected slowed ranks the max of their uniform draws sits
+		// at ~k/(k+1) of the way to F.
+		k := float64(ranks) * p.SlowdownProb
+		slowPt = (p.SlowdownFactor - 1) * compute * k / (k + 1)
+		slowHi = (p.SlowdownFactor - 1) * compute
+	}
+	if p.StallRate > 0 && p.StallMean > 0 {
+		// Transient stalls: Poisson(StallRate) arrivals per rank-step, each
+		// Exp(StallMean); the barrier sees ~the largest across ranks.
+		k := float64(ranks) * p.StallRate
+		stallPt = p.StallMean * math.Log1p(k)
+		stallHi = p.StallMean * (2*math.Log1p(k) + 3)
+	}
+
+	// --- Healthy step wall: deterministic base + barrier extras.
+	base := waitBarrier + sec(gpuCompute) + sec(cpuExposedStep) + sec(xferAcc) + sec(visible)
+	jPoint := jIntra + jCross + jStrag + jPeak
+	stepEnd := base + jPoint + slowPt + stallPt
+	// The bound allowances: jitter estimates doubled plus a 3-sigma step
+	// spread, a floor of 2% of the base for the approximations' slack, and
+	// headroom for data waits the unsampled ranks might add.
+	slack := 0.02*base + 3*sigmaStep
+	waitSpill := 0.0
+	if !waitExact {
+		waitSpill = 2*waitBarrier + 0.02*base
+	}
+	stepEndLo := base - slack
+	stepEndHi := base + 2*(jIntra+jCross) + 3*jStrag + 2*jPeak + slowHi + stallHi + slack + waitSpill
+	if stepEndLo < 0 {
+		stepEndLo = 0
+	}
+
+	// --- Failures: each step fails iff any rank draws one, q = 1-(1-p)^n;
+	// restarts over the run are Binomial(steps, q), bounded by its 0.5% and
+	// 99.5% quantiles. A failed step pays the attempt, a restart, and the
+	// replay: wall = 2*stepEnd + restartCost.
+	steps := o.Steps
+	q := 0.0
+	if p.FailProb > 0 {
+		q = 1 - math.Pow(1-p.FailProb, float64(ranks))
+	}
+	rc := sec(p.RestartCostDur())
+	restartsPt := int(math.Round(float64(steps) * q))
+	restartsLo := binomQuantile(steps, q, 0.005)
+	restartsHi := binomQuantile(steps, q, 0.995)
+
+	meanOf := func(stepSec float64, restarts float64) float64 {
+		return stepSec + restarts/float64(steps)*(stepSec+rc)
+	}
+	meanPt := meanOf(stepEnd, float64(steps)*q)
+	meanLo := meanOf(stepEndLo, float64(restartsLo))
+	meanHi := meanOf(stepEndHi, float64(restartsHi))
+
+	goodputOf := func(stepSec float64, restarts float64) float64 {
+		total := float64(steps)*stepSec + restarts*(stepSec+rc)
+		if total <= 0 {
+			return 1
+		}
+		return float64(steps) * stepSec / total
+	}
+	goodputPt := goodputOf(stepEnd, float64(steps)*q)
+	if q == 0 {
+		goodputPt = 1 // healthy runs are exactly 1, not 1-epsilon
+	}
+	goodputLo := goodputOf(stepEndLo, float64(restartsHi))
+	goodputHi := goodputOf(stepEndHi, float64(restartsLo))
+
+	// Median over steps: the sorted middle step is a failed one only once
+	// failures claim the top half of the order.
+	failNeeded := steps - steps/2
+	failWall := func(stepSec float64) float64 { return 2*stepSec + rc }
+	medianPt := stepEnd
+	if restartsPt >= failNeeded {
+		medianPt = failWall(stepEnd)
+	}
+	medianLo := stepEndLo
+	if restartsLo >= failNeeded {
+		medianLo = failWall(stepEndLo)
+	}
+	medianHi := stepEndHi
+	if restartsHi >= failNeeded {
+		medianHi = failWall(stepEndHi)
+	}
+
+	// P99 over <100 steps is the max step: a failed wall as soon as one
+	// restart is plausible, and in any case the largest healthy draw — the
+	// per-step noise allowances scaled up by the steps-wide max.
+	tailScale := math.Log1p(float64(steps))
+	p99HealthyHi := base + 2*(jIntra+jCross) + (2+tailScale)*(jStrag+stallHi) + 2*jPeak + slowHi + slack + waitSpill + sigmaStep*maxGauss(steps)
+	p99Pt := stepEnd
+	if float64(steps)*q >= 0.5 {
+		p99Pt = failWall(stepEnd)
+	}
+	p99Lo := stepEndLo
+	if restartsLo >= 1 {
+		p99Lo = failWall(stepEndLo)
+	}
+	p99Hi := p99HealthyHi
+	if restartsHi >= 1 {
+		p99Hi = failWall(p99HealthyHi)
+	}
+
+	// Stall share: injected stall time over ranks*wall — expectation per
+	// rank-step is StallRate*StallMean, diluted by restarts' extra wall.
+	var stallSharePt, stallShareLo, stallShareHi float64
+	if p.StallRate > 0 && p.StallMean > 0 {
+		perRank := p.StallRate * p.StallMean
+		stallSharePt = perRank / meanPt
+		stallShareLo = perRank / (3 * meanHi)
+		stallShareHi = 3 * perRank / meanLo
+	}
+
+	// Comm wait: the per-event barrier gaps plus the all-reduce straggler
+	// wait — same order statistics as the step extras, minus the part every
+	// rank shares.
+	commWaitPt := float64(syncEvents)*chunkCV*sec(perRankChunk)*maxGauss(gsize) +
+		jCross + jStrag + jPeak + stallPt + slowPt + (waitBarrier - meanWait)
+	if o.PerfectBalance {
+		commWaitPt = 0
+	}
+	commWaitLo := commWaitPt / 4
+	commWaitHi := 3*commWaitPt + 0.02*base + stallHi
+	dataWaitHi := 2*meanWait + 0.01*base
+	if waitExact {
+		dataWaitHi = meanWait
+	}
+
+	// --- Assemble the Result and its bounds.
+	bk := cluster.Breakdown{
+		GPUCompute:  gpuCompute,
+		SerialPart:  serialPart,
+		CPUExposed:  cpuExposedStep,
+		DataWait:    dur(meanWait),
+		CommXfer:    xferAcc + arCost,
+		CommWait:    dur(commWaitPt),
+		ClipExposed: clipExposed,
+	}
+	// Median-over-steps variants from the sampled replay (data) and the
+	// point estimate (comm) — informational, like the simulator's.
+	medianOf := func(v []float64) float64 {
+		s := append([]float64(nil), v...)
+		for i := 1; i < len(s); i++ { // insertion sort: steps is small
+			for j := i; j > 0 && s[j] < s[j-1]; j-- {
+				s[j], s[j-1] = s[j-1], s[j]
+			}
+		}
+		return s[len(s)/2]
+	}
+	bk.DataWaitMedian = dur(medianOf(stepMeanWait))
+	bk.CommWaitMedian = dur(commWaitPt)
+
+	res := cluster.Result{
+		MeanStep:     dur(meanPt),
+		MedianStep:   dur(medianPt),
+		P99Step:      dur(p99Pt),
+		Break:        bk,
+		Plan:         plan,
+		GraphCapture: graphCapture,
+		Restarts:     restartsPt,
+		StallShare:   stallSharePt,
+		Goodput:      goodputPt,
+	}
+	bounds := Bounds{
+		MeanStep:   bound(meanLo, meanHi),
+		MedianStep: bound(medianLo, medianHi),
+		P99Step:    bound(p99Lo, p99Hi),
+		DataWait:   bound(0, dataWaitHi),
+		CommWait:   bound(commWaitLo, commWaitHi),
+		Goodput:    bound(goodputLo, goodputHi),
+		Restarts:   bound(float64(restartsLo), float64(restartsHi)),
+		StallShare: bound(stallShareLo, stallShareHi),
+	}
+	if q == 0 {
+		bounds.Goodput = Bound{Lo: 1, Hi: 1}
+		bounds.Restarts = Bound{}
+	}
+	if p.StallRate == 0 || p.StallMean == 0 {
+		bounds.StallShare = Bound{}
+	}
+	return res, bounds, nil
+}
+
+// gcCost mirrors the simulator's per-step Python-GC stall model.
+func gcCost(c gpu.CPUModel, launches int) time.Duration {
+	if !c.GCEnabled || c.GCInterval <= 0 {
+		return 0
+	}
+	return time.Duration(launches/c.GCInterval) * c.GCPause
+}
+
+// Policy is the auto-mode escalation rule: a cell leaves the analytic fast
+// path only when its bounds are too wide to act on — the goodput interval
+// straddles more than GoodputWidth (the resilience cliff region, where the
+// restart count is genuinely bimodal), or the mean-step relative error
+// radius exceeds MeanStepRel.
+type Policy struct {
+	GoodputWidth float64
+	MeanStepRel  float64
+}
+
+// DefaultPolicy is the escalation rule the sweep layer applies in auto
+// mode. The thresholds are deliberately permissive: healthy cells and
+// deep-past-the-cliff cells stay analytic, the transition region — where a
+// ±1 restart moves goodput by tens of points — escalates.
+var DefaultPolicy = Policy{GoodputWidth: 0.2, MeanStepRel: 0.35}
+
+// ShouldEscalate reports whether a cell with these bounds needs the exact
+// simulator under the policy.
+func (p Policy) ShouldEscalate(b Bounds) bool {
+	return b.Goodput.Width() > p.GoodputWidth || b.MeanStep.RelHalfWidth() > p.MeanStepRel
+}
+
+// ShouldEscalate applies DefaultPolicy.
+func ShouldEscalate(b Bounds) bool { return DefaultPolicy.ShouldEscalate(b) }

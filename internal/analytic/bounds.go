@@ -1,0 +1,127 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// Bound is a closed interval [Lo, Hi] in the field's own unit (seconds for
+// durations, dimensionless for goodput/stall share, count for restarts).
+// The estimator's contract is containment: the exact simulator's value for
+// the same scenario lands inside the bound. A zero-width bound states the
+// component is deterministic and the estimate exact.
+type Bound struct {
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+// bound orders and returns the interval (callers may compute endpoints in
+// either order), clamping the low end at zero when asked — every bounded
+// quantity here is non-negative.
+func bound(lo, hi float64) Bound {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	return Bound{Lo: lo, Hi: hi}
+}
+
+// Contains reports whether v lies inside the interval.
+func (b Bound) Contains(v float64) bool { return v >= b.Lo && v <= b.Hi }
+
+// Width returns the absolute interval width Hi-Lo.
+func (b Bound) Width() float64 { return b.Hi - b.Lo }
+
+// RelHalfWidth returns the relative-error radius the bound states: half the
+// width over the interval midpoint. A deterministic (zero-width) bound has
+// relative error 0; a bound whose midpoint is ~0 reports 0 too — there is
+// nothing to be relatively wrong about.
+func (b Bound) RelHalfWidth() float64 {
+	mid := (b.Lo + b.Hi) / 2
+	if mid <= 1e-12 {
+		return 0
+	}
+	return b.Width() / 2 / mid
+}
+
+// Bounds attaches an error interval to every estimated Result field. The
+// deterministic breakdown components (GPU compute, serial share, exposed
+// CPU, collective transfer, clip exposure, graph capture) are exact by
+// construction and carry no interval.
+type Bounds struct {
+	MeanStep   Bound `json:"mean_step"`
+	MedianStep Bound `json:"median_step"`
+	P99Step    Bound `json:"p99_step"`
+	DataWait   Bound `json:"data_wait"`
+	CommWait   Bound `json:"comm_wait"`
+	Goodput    Bound `json:"goodput"`
+	Restarts   Bound `json:"restarts"`
+	StallShare Bound `json:"stall_share"`
+}
+
+// Check verifies the containment contract against an exact Result for the
+// same scenario, returning an error naming the first field whose exact
+// value escapes its stated bound (nil when every field is contained).
+func (b Bounds) Check(r cluster.Result) error {
+	for _, c := range []struct {
+		name string
+		bd   Bound
+		v    float64
+	}{
+		{"mean_step", b.MeanStep, sec(r.MeanStep)},
+		{"median_step", b.MedianStep, sec(r.MedianStep)},
+		{"p99_step", b.P99Step, sec(r.P99Step)},
+		{"data_wait", b.DataWait, sec(r.Break.DataWait)},
+		{"comm_wait", b.CommWait, sec(r.Break.CommWait)},
+		{"goodput", b.Goodput, r.Goodput},
+		{"restarts", b.Restarts, float64(r.Restarts)},
+		{"stall_share", b.StallShare, r.StallShare},
+	} {
+		if !c.bd.Contains(c.v) {
+			return fmt.Errorf("analytic: exact %s %.6g outside stated bound [%.6g, %.6g]",
+				c.name, c.v, c.bd.Lo, c.bd.Hi)
+		}
+	}
+	return nil
+}
+
+func sec(d time.Duration) float64 { return float64(d) / float64(time.Second) }
+
+func dur(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+// maxGauss returns E[max of n iid standard normals] via the Blom
+// plotting-position approximation Φ⁻¹((n-0.375)/(n+0.25)) — within ~1% of
+// the true order-statistic mean for all n, and exactly 0 for n=1.
+func maxGauss(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	p := (float64(n) - 0.375) / (float64(n) + 0.25)
+	return math.Sqrt2 * math.Erfinv(2*p-1)
+}
+
+// binomQuantile returns the smallest k with P(Binomial(n,p) <= k) >= q,
+// by iterating the pmf recurrence — exact for the small n (simulated steps)
+// this package sees.
+func binomQuantile(n int, p, q float64) int {
+	if p <= 0 || n <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	pmf := math.Pow(1-p, float64(n))
+	cdf := pmf
+	k := 0
+	for cdf < q && k < n {
+		pmf *= float64(n-k) / float64(k+1) * p / (1 - p)
+		k++
+		cdf += pmf
+	}
+	return k
+}

@@ -239,3 +239,32 @@ func TestMeanWait(t *testing.T) {
 		t.Fatalf("mean wait %v", mw)
 	}
 }
+
+// TestMeanWaitPrefetch pins the prefetch-aware variant: the legacy
+// signature is exactly the prefetch<=0 default (2×workers), an explicit
+// prefetch equal to that default agrees with it, and a tight prefetch=1
+// bound on bursty prep times waits at least as long — the queue slot must
+// free before the next slow batch may start, which MeanWait's dropped
+// Prefetch field used to make unexpressible.
+func TestMeanWaitPrefetch(t *testing.T) {
+	prep := secs(8, 1, 1, 1, 8, 1, 1, 1)
+	const workers = 2
+	legacy := MeanWait(prep, workers, false, time.Second)
+	if got := MeanWaitPrefetch(prep, workers, 0, false, time.Second); got != legacy {
+		t.Fatalf("prefetch=0 must match the legacy default: %v vs %v", got, legacy)
+	}
+	if got := MeanWaitPrefetch(prep, workers, 2*workers, false, time.Second); got != legacy {
+		t.Fatalf("explicit default prefetch must match the legacy default: %v vs %v", got, legacy)
+	}
+	tight := MeanWaitPrefetch(prep, workers, 1, false, time.Second)
+	if tight < legacy {
+		t.Fatalf("prefetch=1 must not wait less than the default bound: %v vs %v", tight, legacy)
+	}
+	deep := MeanWaitPrefetch(prep, workers, len(prep), false, time.Second)
+	if deep > legacy {
+		t.Fatalf("deeper prefetch must not wait more than the default bound: %v vs %v", deep, legacy)
+	}
+	if tight == deep {
+		t.Fatalf("prefetch bound had no effect on bursty prep times (both %v)", tight)
+	}
+}

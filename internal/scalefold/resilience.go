@@ -39,6 +39,11 @@ type ResilienceSpec struct {
 	// steps sharpen the failure-rate resolution: a cell only restarts if
 	// some rank fails within the simulated window.
 	Steps int
+	// Mode selects how cells resolve, as in SweepSpec.Mode: "" or "exact"
+	// simulates, "analytic" serves closed-form estimates, "auto" estimates
+	// and escalates exactly the cells whose goodput bounds straddle the
+	// resilience cliff — the transition region this sweep exists to map.
+	Mode string
 	// Execution knobs, as in SweepSpec.
 	Workers    int
 	SimWorkers int
@@ -115,6 +120,7 @@ func (s ResilienceSpec) Run(onProgress func(sweep.Progress)) ([]ResilienceRow, e
 		Scenarios:  scs,
 		Workers:    s.Workers,
 		SimWorkers: s.SimWorkers,
+		Mode:       s.Mode,
 		Store:      s.Store,
 		Cache:      s.Cache,
 		Metrics:    s.Metrics,

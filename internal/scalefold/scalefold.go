@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/analytic"
 	"repro/internal/cluster"
 	"repro/internal/comm"
 	"repro/internal/dataset"
@@ -154,9 +155,28 @@ func (c StepConfig) simulateVia(st store.Store[cluster.Result], onErr func(error
 }
 
 // simulateViaSrc is simulateVia plus the resolution source — "store-hit" when
-// the persistent store satisfied the cell, "simulated" when the simulator ran
-// — which the sweep layer's cell-lifecycle tracing records as span metadata.
+// the persistent store satisfied the cell, "simulated" when the simulator ran,
+// "analytic" when the closed-form estimator served it — which the sweep
+// layer's cell-lifecycle tracing records as span metadata.
 func (c StepConfig) simulateViaSrc(st store.Store[cluster.Result], onErr func(error), m *SweepMetrics) (cluster.Result, string) {
+	return c.simulateViaSrcObs(st, onErr, m, nil)
+}
+
+// simulateViaSrcObs is simulateViaSrc plus the estimate-latency observer the
+// sweep service's histogram hangs off. Non-exact modes route here: analytic
+// cells go to the estimator, and an auto cell that reached this layer
+// unresolved (direct StepConfig.Run users — SweepSpec.Run resolves at
+// lowering) is resolved the same deterministic way first.
+func (c StepConfig) simulateViaSrcObs(st store.Store[cluster.Result], onErr func(error), m *SweepMetrics, onEstimate func(time.Duration)) (cluster.Result, string) {
+	if c.Mode == scenario.ModeAuto {
+		var escalated bool
+		if c, escalated = c.ResolveAuto(); escalated && m != nil {
+			m.Escalated.Add(1)
+		}
+	}
+	if c.Mode == scenario.ModeAnalytic {
+		return c.estimateViaSrc(st, onErr, m, onEstimate)
+	}
 	if st == nil {
 		if m != nil {
 			m.Simulated.Add(1)
@@ -178,6 +198,41 @@ func (c StepConfig) simulateViaSrc(st store.Store[cluster.Result], onErr func(er
 		onErr(err)
 	}
 	return r, "simulated"
+}
+
+// estimateViaSrc resolves an analytic-mode cell: store hit under its v5 key,
+// else the closed-form estimate (package analytic), written through like any
+// simulated result — so estimates persist, memoize and stream exactly like
+// exact cells, just under their own key generation. The estimator never bumps
+// the Simulations counter: that counts exact simulator runs, the quantity the
+// fast path exists to avoid.
+func (c StepConfig) estimateViaSrc(st store.Store[cluster.Result], onErr func(error), m *SweepMetrics, onEstimate func(time.Duration)) (cluster.Result, string) {
+	key := c.Fingerprint()
+	if st != nil {
+		if r, ok := st.Get(key); ok && r.Goodput > 0 {
+			if m != nil {
+				m.StoreHits.Add(1)
+			}
+			return r, "store-hit"
+		}
+	}
+	t0 := time.Now()
+	r, _, err := analytic.Estimate(c.Scenario)
+	if err != nil {
+		panic("scalefold: unvalidated scenario reached the estimator: " + err.Error())
+	}
+	if onEstimate != nil {
+		onEstimate(time.Since(t0))
+	}
+	if m != nil {
+		m.Analytic.Add(1)
+	}
+	if st != nil {
+		if err := st.Put(key, r); err != nil && onErr != nil {
+			onErr(err)
+		}
+	}
+	return r, "analytic"
 }
 
 // RunVia resolves the configuration against an explicit store — store hit,

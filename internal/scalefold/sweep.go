@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/analytic"
 	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/perturb"
@@ -68,6 +69,20 @@ type SweepSpec struct {
 	// identity-bearing: perturbed cells fingerprint under the v4 key
 	// generation and never share store records with healthy ones.
 	Perturb *perturb.Spec
+	// Mode selects how cells resolve their Result: "" or "exact" runs the
+	// simulator (the default), "analytic" serves package analytic's
+	// closed-form estimate, "auto" picks per cell — analytic unless the
+	// estimate's error bounds straddle a decision boundary
+	// (analytic.ShouldEscalate), in which case the cell escalates to
+	// exact. Applied to every grid cell and to explicit Scenarios that
+	// don't carry their own mode. Auto resolves at lowering time (the
+	// estimator costs microseconds), so the resolved cells carry plain
+	// analytic or exact fingerprints: an auto sweep shares memo entries
+	// and store records with explicitly-moded sweeps, and its escalation
+	// set is a deterministic function of the scenarios alone. Identity-
+	// bearing for analytic cells (v5 keys — an estimate must never satisfy
+	// an exact lookup); exact cells keep their v3/v4 keys byte-identical.
+	Mode string
 	// Cache memoizes results across Run calls. nil selects the process-wide
 	// cache shared with the figure runners; benchmarks and determinism
 	// tests pass a fresh one to force cold execution.
@@ -102,6 +117,10 @@ type SweepSpec struct {
 	// fails the whole sweep: Run returns the first one after the engine
 	// drains, with the affected rows carrying zero Results.
 	Runner func(c StepConfig) (cluster.Result, error)
+	// OnEstimate, when non-nil, observes the latency of every analytic
+	// estimate this sweep computes (store hits excluded). The sweep service
+	// feeds its estimate-latency histogram with it.
+	OnEstimate func(time.Duration)
 	// Trace, when non-nil, records one cat="cell" lifecycle span per settled
 	// cell: locally resolved cells (store hit or simulation) land on a
 	// "local-N" engine-slot lane, memo-settled cells on the "memo" lane.
@@ -114,10 +133,12 @@ type SweepSpec struct {
 // SweepMetrics counts how the cells of a Run were satisfied. All fields are
 // safe to read concurrently while the sweep runs.
 type SweepMetrics struct {
-	Simulated atomic.Int64 // ran the simulator
+	Simulated atomic.Int64 // ran the exact simulator
 	StoreHits atomic.Int64 // served from the persistent store
 	MemoHits  atomic.Int64 // settled by the in-memory memo (incl. singleflight waits)
 	Remote    atomic.Int64 // dispatched to a fabric worker (SweepSpec.Runner)
+	Analytic  atomic.Int64 // served by the closed-form estimator (package analytic)
+	Escalated atomic.Int64 // auto-mode cells whose bounds forced exact simulation
 }
 
 // DefaultSweepSpec is the out-of-the-box exploration grid: the optimized
@@ -207,6 +228,53 @@ func (s SweepSpec) configFor(p sweep.Point) (StepConfig, error) {
 	return c, nil
 }
 
+// resolveMode stamps the spec-level mode on a lowered scenario (a scenario's
+// own non-empty mode wins, mirroring how its perturb block outranks the
+// spec's) and resolves auto mode to its concrete per-cell resolution, counting
+// escalations on m. Auto resolves here, at lowering time, so the cells the
+// engine sees are plain analytic or exact cells — same fingerprints, memo
+// entries and store records as an explicitly-moded sweep would produce.
+func (s SweepSpec) resolveMode(n scenario.Scenario, m *SweepMetrics) scenario.Scenario {
+	if n.Mode == "" && s.Mode != "" && s.Mode != scenario.ModeExact {
+		n.Mode = s.Mode
+	}
+	if n.Mode == scenario.ModeAuto {
+		mode, escalated := resolveAuto(n)
+		n.Mode = mode
+		if escalated && m != nil {
+			m.Escalated.Add(1)
+		}
+	}
+	return n
+}
+
+// resolveAuto picks an auto-mode scenario's concrete resolution: analytic
+// when the estimate's bounds are actionable under analytic.DefaultPolicy,
+// exact when they straddle a decision boundary (or the estimator failed —
+// the simulator is the safe fallback). Deterministic: the estimator is a
+// pure function of the scenario, so the same sweep escalates the same cells
+// on every run, every machine and every worker count.
+func resolveAuto(n scenario.Scenario) (mode string, escalated bool) {
+	_, b, err := analytic.Estimate(n)
+	if err != nil || analytic.ShouldEscalate(b) {
+		return "", true
+	}
+	return scenario.ModeAnalytic, false
+}
+
+// ResolveAuto resolves an auto-mode configuration to the concrete cell the
+// sweep would run: Mode "analytic" when the estimate's bounds are actionable,
+// "" (exact) when they force escalation, reported by the second result.
+// Non-auto configurations return unchanged.
+func (c StepConfig) ResolveAuto() (StepConfig, bool) {
+	if c.Mode != scenario.ModeAuto {
+		return c, false
+	}
+	mode, escalated := resolveAuto(c.Scenario)
+	c.Mode = mode
+	return c, escalated
+}
+
 // scenarioPoint synthesizes the canonical axis coordinates of an explicit
 // scenario, so explicit-scenario rows land in the same result table (and
 // NDJSON row format) as grid rows.
@@ -245,6 +313,10 @@ func (s SweepSpec) validate() error {
 		if err := s.Perturb.Validate(); err != nil {
 			return fmt.Errorf("sweep: %w", err)
 		}
+	}
+	if !scenario.ValidMode(s.Mode) {
+		// So is an unknown mode.
+		return fmt.Errorf("sweep: unknown mode %q (want one of %v)", s.Mode, scenario.Modes)
 	}
 	if len(s.Scenarios) > 0 {
 		for i, sc := range s.Scenarios {
@@ -327,6 +399,7 @@ func (s SweepSpec) Run(onProgress func(sweep.Progress)) ([]SweepRow, error) {
 					return nil, fmt.Errorf("sweep: scenarios[%d]: %w", i, err)
 				}
 			}
+			n = s.resolveMode(n, s.Metrics)
 			p := scenarioPoint(n)
 			c := StepConfig{Name: p.Fingerprint(), Scenario: n}
 			rows[i].Point = p
@@ -347,6 +420,7 @@ func (s SweepSpec) Run(onProgress func(sweep.Progress)) ([]SweepRow, error) {
 				rows[i].SkipReason = err.Error()
 				continue
 			}
+			c.Scenario = s.resolveMode(c.Scenario, s.Metrics)
 			rows[i].Config = c
 			cells = append(cells, sweep.Cell[StepConfig]{Key: c.Fingerprint(), Label: p.Fingerprint(), Config: c})
 			cellRow = append(cellRow, i)
@@ -372,9 +446,18 @@ func (s SweepSpec) Run(onProgress func(sweep.Progress)) ([]SweepRow, error) {
 	// bodySrc resolves one cold cell and reports how: "store-hit",
 	// "simulated", "remote" (Runner-resolved; spanned by the Runner's owner)
 	// or "error" (Runner failure; no span).
-	bodySrc := func(c StepConfig) (cluster.Result, string) { return c.simulateViaSrc(st, onErr, s.Metrics) }
+	bodySrc := func(c StepConfig) (cluster.Result, string) {
+		return c.simulateViaSrcObs(st, onErr, s.Metrics, s.OnEstimate)
+	}
 	if s.Runner != nil {
 		bodySrc = func(c StepConfig) (cluster.Result, string) {
+			if c.Mode == scenario.ModeAnalytic {
+				// Analytic cells never travel: the estimate costs microseconds
+				// — less than the dispatch round-trip — so they resolve on the
+				// coordinator (store fast path included) and the fleet only
+				// sees cells that need real simulation.
+				return c.estimateViaSrc(st, onErr, s.Metrics, s.OnEstimate)
+			}
 			if st != nil {
 				if r, ok := st.Get(c.Fingerprint()); ok && r.Goodput > 0 {
 					if s.Metrics != nil {
@@ -420,7 +503,7 @@ func (s SweepSpec) Run(onProgress func(sweep.Progress)) ([]SweepRow, error) {
 			r, src := bodySrc(c)
 			end := time.Now()
 			lanes <- lane
-			if src == "store-hit" || src == "simulated" {
+			if src == "store-hit" || src == "simulated" || src == "analytic" {
 				owner := "local-" + strconv.Itoa(lane)
 				s.Trace.Span(owner, c.Name, "cell", t0, end, map[string]string{
 					"owner": owner, "source": src, "key": c.Fingerprint(),

@@ -32,24 +32,39 @@ const Version = 3
 // just the hashes — differ.
 const PerturbVersion = 4
 
+// AnalyticVersion is the encoding version of scenarios resolved by a
+// non-exact Mode ("analytic" or "auto"). Like v4 it EXTENDS the earlier
+// generations rather than replacing them: exact-mode scenarios (Mode "" or
+// "exact", which Normalize folds to "") still encode and fingerprint
+// byte-identically to v3/v4, so every pre-existing store keeps serving,
+// while a non-exact mode appends a ";mode=..." block and mints a "v5:" key.
+// An analytic estimate can therefore never satisfy an exact lookup (or
+// vice versa): the prefixes — not just the hashes — differ.
+const AnalyticVersion = 5
+
 // keyPrefix tags unperturbed-generation fingerprints; perturbPrefix tags
-// scenarios with a live perturbation block.
+// scenarios with a live perturbation block; analyticPrefix tags scenarios
+// resolved by a non-exact mode.
 var (
-	keyPrefix     = fmt.Sprintf("v%d:", Version)
-	perturbPrefix = fmt.Sprintf("v%d:", PerturbVersion)
+	keyPrefix      = fmt.Sprintf("v%d:", Version)
+	perturbPrefix  = fmt.Sprintf("v%d:", PerturbVersion)
+	analyticPrefix = fmt.Sprintf("v%d:", AnalyticVersion)
 )
 
 // IsCurrentKey reports whether a memo/store key was minted by a current
-// encoding generation (v3 for unperturbed scenarios, v4 for perturbed
-// ones). Keys from older generations are legacy: kept in the store's
-// append-only log, counted in store statistics, never matched by lookups.
+// encoding generation (v3 for unperturbed exact scenarios, v4 for perturbed
+// exact ones, v5 for analytic/auto-mode ones). Keys from older generations
+// are legacy: kept in the store's append-only log, counted in store
+// statistics, never matched by lookups.
 func IsCurrentKey(key string) bool {
-	return strings.HasPrefix(key, keyPrefix) || strings.HasPrefix(key, perturbPrefix)
+	return strings.HasPrefix(key, keyPrefix) ||
+		strings.HasPrefix(key, perturbPrefix) ||
+		strings.HasPrefix(key, analyticPrefix)
 }
 
 // Fingerprint returns the versioned canonical identity of the scenario:
-// "v3:" ("v4:" when a perturbation block is present) + a 128-bit hash of
-// Canonical(). It is the memoization key of the sweep engine and the record
+// "v3:" ("v4:" when a perturbation block is present, "v5:" when the
+// resolution mode is analytic or auto) + a 128-bit hash of Canonical(). It is the memoization key of the sweep engine and the record
 // key of the persistent result store. Scenarios that normalize equal share
 // a fingerprint; any semantic difference — including the numeric contents
 // of the profiles the scenario references — produces a different one.
@@ -63,6 +78,11 @@ func (s Scenario) Fingerprint() string {
 	prefix := keyPrefix
 	if s.Perturb != nil && !s.Perturb.IsZero() {
 		prefix = perturbPrefix
+	}
+	if s.Mode != "" && s.Mode != ModeExact {
+		// Non-exact modes outrank the perturb generation: an estimate of a
+		// perturbed cell is still an estimate, never an exact record.
+		prefix = analyticPrefix
 	}
 	sum := sha256.Sum256([]byte(s.Canonical()))
 	return prefix + hex.EncodeToString(sum[:16])
@@ -114,6 +134,14 @@ func (s Scenario) Canonical() string {
 	if s.Perturb != nil && !s.Perturb.IsZero() {
 		b.WriteString(";")
 		b.WriteString(s.Perturb.Canonical())
+	}
+	// The mode block is appended ONLY for non-exact modes (the v5
+	// generation); exact scenarios keep the exact v3/v4 encoding, so their
+	// fingerprints — and every pre-existing store key — are untouched by
+	// the analytic layer's existence.
+	if s.Mode != "" && s.Mode != ModeExact {
+		b.WriteString(";mode=")
+		b.WriteString(s.Mode)
 	}
 	return b.String()
 }

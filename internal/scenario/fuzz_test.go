@@ -21,6 +21,10 @@ func FuzzScenarioRoundTrip(f *testing.F) {
 	f.Add([]byte(`{"platform":"TPU","ranks":8,"dap":1,"seed":1}`))
 	f.Add([]byte(`{"platform":"H100","ranks":30,"dap":4,"seed":1}`))
 	f.Add([]byte(`{"platform":"H100","ranks":16,"dap":1,"seed":1,"perturb":{"slowdown_prob":0.9,"slowdown_factor":1}}`))
+	f.Add([]byte(`{"platform":"H100","ranks":256,"dap":2,"census":{"dap":2},"seed":1,"mode":"analytic"}`))
+	f.Add([]byte(`{"platform":"H100","ranks":256,"dap":2,"census":{"dap":2},"seed":1,"mode":"auto","perturb":{"fail_prob":0.001,"restart_cost_s":60}}`))
+	f.Add([]byte(`{"platform":"H100","ranks":256,"dap":2,"census":{"dap":2},"seed":1,"mode":"exact"}`))
+	f.Add([]byte(`{"platform":"H100","ranks":256,"dap":2,"census":{"dap":2},"seed":1,"mode":"psychic"}`))
 	f.Add([]byte(`not json at all`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := ParseJSON(data)
@@ -60,11 +64,19 @@ func FuzzScenarioRoundTrip(f *testing.F) {
 		if back.Fingerprint() != s.Fingerprint() {
 			t.Fatalf("round trip moved the fingerprint: %s vs %s", back.Fingerprint(), s.Fingerprint())
 		}
-		// The version prefix is a pure function of the normalized perturb
-		// block: live spec ⇒ v4, absent or no-op ⇒ v3.
-		wantV4 := n.Perturb != nil
-		if gotV4 := len(s.Fingerprint()) > 3 && s.Fingerprint()[:3] == "v4:"; gotV4 != wantV4 {
-			t.Fatalf("fingerprint generation %s disagrees with perturb block %v", s.Fingerprint(), n.Perturb)
+		// The version prefix is a pure function of the normalized mode and
+		// perturb block: non-exact mode ⇒ v5, else live perturb spec ⇒ v4,
+		// else ⇒ v3.
+		wantPrefix := "v3:"
+		switch {
+		case n.Mode != "":
+			wantPrefix = "v5:"
+		case n.Perturb != nil:
+			wantPrefix = "v4:"
+		}
+		if fp := s.Fingerprint(); len(fp) < 3 || fp[:3] != wantPrefix {
+			t.Fatalf("fingerprint %s disagrees with mode %q / perturb block %v (want prefix %s)",
+				fp, n.Mode, n.Perturb, wantPrefix)
 		}
 		if !IsCurrentKey(s.Fingerprint()) {
 			t.Fatalf("fingerprint %s not recognized as current", s.Fingerprint())

@@ -80,6 +80,28 @@ func goldenCorpus() []struct {
 		}),
 		withPerturb("perturb-noop-is-v3", perturb.Spec{SlowdownProb: 0.5, SlowdownFactor: 1}),
 	)
+	// The v5 generation: scenarios resolved by a non-exact mode. Their
+	// lines pin both the ";mode=..." canonical suffix and the "v5:" key
+	// prefix; "mode-exact-is-v3" pins the other half of the contract — an
+	// explicit "exact" spelling folds to the zero value and keeps the
+	// scenario on its v3 (or, perturbed, v4) encoding and key.
+	withMode := func(name, mode string, p *perturb.Spec) struct {
+		Name string
+		S    Scenario
+	} {
+		s := fig7ish()
+		s.Mode, s.Perturb = mode, p
+		return struct {
+			Name string
+			S    Scenario
+		}{name, s}
+	}
+	corpus = append(corpus,
+		withMode("mode-analytic", ModeAnalytic, nil),
+		withMode("mode-auto", ModeAuto, nil),
+		withMode("mode-analytic-perturbed", ModeAnalytic, &perturb.Spec{FailProb: 0.001, RestartCost: 60}),
+		withMode("mode-exact-is-v3", ModeExact, nil),
+	)
 	return corpus
 }
 
@@ -94,6 +116,8 @@ func TestGoldenFingerprints(t *testing.T) {
 	got.WriteString("# regenerate deliberately: go test ./internal/scenario -run Golden -update\n")
 	got.WriteString("# v4 extends v3: unperturbed lines are byte-identical to the v3-era corpus,\n")
 	got.WriteString("# perturbed scenarios append a perturb{...} block and mint v4: keys.\n")
+	got.WriteString("# v5 extends both: exact-mode lines are byte-identical to the v4-era corpus,\n")
+	got.WriteString("# analytic/auto-mode scenarios append a mode= block and mint v5: keys.\n")
 	for _, tc := range goldenCorpus() {
 		fmt.Fprintf(&got, "%s\t%s\t%s\n", tc.Name, tc.S.Fingerprint(), tc.S.Canonical())
 	}

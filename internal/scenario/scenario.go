@@ -103,6 +103,37 @@ type Scenario struct {
 	// fingerprint generation; a non-trivial spec is identity-bearing and
 	// moves the fingerprint to the "v4:" generation.
 	Perturb *perturb.Spec `json:"perturb,omitempty"`
+
+	// Mode selects how the scenario's Result is produced: "" or "exact"
+	// runs cluster.Simulate (the default; Normalize folds "exact" to ""),
+	// "analytic" serves the closed-form estimate from package analytic, and
+	// "auto" lets the sweep layer pick — analytic unless the estimate's
+	// error bound straddles a decision boundary, in which case the cell
+	// escalates to exact. Exact scenarios keep their v3/v4 encoding and
+	// keys byte-identical; a non-exact mode is identity-bearing (an
+	// estimate must never satisfy an exact lookup) and moves the
+	// fingerprint to the "v5:" generation.
+	Mode string `json:"mode,omitempty"`
+}
+
+// Recognized Scenario.Mode values. The zero value ("") is exact.
+const (
+	ModeExact    = "exact"
+	ModeAnalytic = "analytic"
+	ModeAuto     = "auto"
+)
+
+// Modes lists the recognized Scenario.Mode spellings (the zero value ""
+// is also accepted and means exact).
+var Modes = []string{ModeExact, ModeAnalytic, ModeAuto}
+
+// ValidMode reports whether name is a recognized resolution mode.
+func ValidMode(name string) bool {
+	switch name {
+	case "", ModeExact, ModeAnalytic, ModeAuto:
+		return true
+	}
+	return false
 }
 
 // Ablations lists the recognized Scenario.Ablation values: "none" plus one
@@ -187,6 +218,15 @@ func (s Scenario) Normalize() (Scenario, error) {
 			s.Perturb = &p
 		}
 	}
+	if s.Mode == ModeExact {
+		// "exact" IS the zero value: folding it keeps the explicit spelling
+		// on the same v3/v4 encoding and key as an unset mode, the same
+		// trick that keeps a no-op perturb on v3.
+		s.Mode = ""
+	}
+	if !ValidMode(s.Mode) {
+		return Scenario{}, fmt.Errorf("scenario: unknown mode %q (want one of %v)", s.Mode, Modes)
+	}
 	return s, nil
 }
 
@@ -222,6 +262,9 @@ func (s Scenario) Validate() error {
 	}
 	if s.Census.Recycles < 0 {
 		return fmt.Errorf("scenario: census recycles must be >= 0")
+	}
+	if !ValidMode(s.Mode) {
+		return fmt.Errorf("scenario: unknown mode %q (want one of %v)", s.Mode, Modes)
 	}
 	if s.Perturb != nil {
 		if err := s.Perturb.Validate(); err != nil {

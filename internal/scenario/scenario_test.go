@@ -71,6 +71,7 @@ func TestFingerprintSeparatesScenarios(t *testing.T) {
 		"ablation": func(s *Scenario) { s.Ablation = "zero-comm" },
 		"seed":     func(s *Scenario) { s.Seed = 99 },
 		"steps":    func(s *Scenario) { s.Steps = 12 },
+		"mode":     func(s *Scenario) { s.Mode = ModeAnalytic },
 	} {
 		m := base
 		mut(&m)
@@ -141,6 +142,7 @@ func TestValidateRejectsBadScenarios(t *testing.T) {
 		"unknown cpu":       func(s *Scenario) { s.CPU = "overclocked" },
 		"unknown prep":      func(s *Scenario) { s.Prep = "instant" },
 		"unknown ablation":  func(s *Scenario) { s.Ablation = "zero-lunch" },
+		"unknown mode":      func(s *Scenario) { s.Mode = "psychic" },
 		"zero ranks":        func(s *Scenario) { s.Ranks = 0 },
 		"zero dap":          func(s *Scenario) { s.DAP = 0 },
 		"indivisible":       func(s *Scenario) { s.Ranks = 30; s.DAP = 4 },
@@ -335,5 +337,89 @@ func TestPerturbFingerprintGenerations(t *testing.T) {
 	}
 	if !o.Perturb.Enabled() || o.Perturb.FailProb != 0.001 {
 		t.Fatalf("perturb did not lower into cluster.Options: %+v", o.Perturb)
+	}
+}
+
+// TestModeFingerprintGenerations pins the conditional-versioning contract of
+// the resolution mode: "" and "exact" are one scenario on the exact v3 (or,
+// perturbed, v4) encoding and key — so every pre-existing store keeps
+// serving — while "analytic" and "auto" append a ";mode=..." block and mint
+// v5 keys that can never collide with, or be satisfied by, any exact record.
+func TestModeFingerprintGenerations(t *testing.T) {
+	base := fig7ish()
+
+	// Explicit "exact" is the zero value: same key, same encoding, and
+	// Normalize folds the spelling away.
+	exact := base
+	exact.Mode = ModeExact
+	if exact.Fingerprint() != base.Fingerprint() {
+		t.Fatalf("mode=exact moved the key: %s vs %s", exact.Fingerprint(), base.Fingerprint())
+	}
+	if exact.Canonical() != base.Canonical() {
+		t.Fatalf("mode=exact leaked into the canonical encoding:\n%s\nvs\n%s",
+			exact.Canonical(), base.Canonical())
+	}
+	n, err := exact.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Mode != "" {
+		t.Fatalf("normalize kept the explicit exact spelling: %q", n.Mode)
+	}
+
+	// Analytic and auto mint distinct v5 keys and encode the block.
+	seen := map[string]bool{base.Fingerprint(): true}
+	for _, mode := range []string{ModeAnalytic, ModeAuto} {
+		m := base
+		m.Mode = mode
+		fp := m.Fingerprint()
+		if !strings.HasPrefix(fp, "v5:") {
+			t.Fatalf("mode=%s fingerprint %q must be v5-prefixed", mode, fp)
+		}
+		if !IsCurrentKey(fp) {
+			t.Fatalf("mode=%s key %q must be current", mode, fp)
+		}
+		if !strings.Contains(m.Canonical(), ";mode="+mode) {
+			t.Fatalf("mode=%s canonical misses the block:\n%s", mode, m.Canonical())
+		}
+		if seen[fp] {
+			t.Fatalf("mode=%s collided with another generation's key", mode)
+		}
+		seen[fp] = true
+
+		// The mode survives the wire format.
+		blob, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseJSON(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Fingerprint() != fp {
+			t.Fatalf("wire round trip moved the v5 key: %s vs %s", back.Fingerprint(), fp)
+		}
+	}
+
+	// A perturbed analytic scenario is v5, not v4 — an estimate of an
+	// unhealthy cell is still an estimate.
+	pa := base
+	pa.Mode = ModeAnalytic
+	pa.Perturb = &perturb.Spec{FailProb: 0.001, RestartCost: 60}
+	if fp := pa.Fingerprint(); !strings.HasPrefix(fp, "v5:") {
+		t.Fatalf("perturbed analytic fingerprint %q must be v5-prefixed", fp)
+	}
+	if !strings.Contains(pa.Canonical(), ";perturb{") || !strings.Contains(pa.Canonical(), ";mode=analytic") {
+		t.Fatalf("perturbed analytic canonical misses a block:\n%s", pa.Canonical())
+	}
+
+	// Unknown modes are rejected at both gates.
+	bad := base
+	bad.Mode = "psychic"
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unknown mode must be rejected by Validate")
+	}
+	if _, err := bad.Normalize(); err == nil {
+		t.Fatal("unknown mode must be rejected by Normalize")
 	}
 }

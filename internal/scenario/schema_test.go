@@ -39,6 +39,12 @@ var pinnedSchema = map[string][]string{
 		// that conditional versioning IS the contract, pinned by
 		// TestPerturbFingerprintGenerations and the golden corpus.
 		"Perturb *perturb.Spec",
+		// Mode is encoded ONLY when non-exact: "" or "exact" (which
+		// Normalize folds to "") keeps the exact v3/v4 encoding and key,
+		// while "analytic"/"auto" append a ";mode=..." block and move the
+		// key to the v5 generation — pinned by
+		// TestModeFingerprintGenerations and the golden corpus.
+		"Mode string",
 	},
 	"workload.Options": {
 		"FusedMHA bool", "FusedLN bool", "FusedAdamSWA bool",

@@ -143,11 +143,13 @@ func (j *job) finalizeLocked(state string, err error) {
 	}
 	done := DoneEvent{
 		Type: "done", State: state, Rows: j.rows, Skipped: j.skipped,
-		Simulated: j.metrics.Simulated.Load(),
-		StoreHits: j.metrics.StoreHits.Load(),
-		MemoHits:  j.metrics.MemoHits.Load(),
-		Remote:    j.metrics.Remote.Load(),
-		Error:     j.err,
+		Simulated:   j.metrics.Simulated.Load(),
+		StoreHits:   j.metrics.StoreHits.Load(),
+		MemoHits:    j.metrics.MemoHits.Load(),
+		Remote:      j.metrics.Remote.Load(),
+		Analytic:    j.metrics.Analytic.Load(),
+		Escalations: j.metrics.Escalated.Load(),
+		Error:       j.err,
 	}
 	line, _ := json.Marshal(done)
 	j.events = append(j.events, append(line, '\n'))
@@ -167,11 +169,13 @@ func (j *job) status() JobStatus {
 	return JobStatus{
 		ID: j.id, State: j.state, Spec: j.spec,
 		Cells: j.cells, Done: j.rows, Skipped: j.skipped,
-		Simulated: j.metrics.Simulated.Load(),
-		StoreHits: j.metrics.StoreHits.Load(),
-		MemoHits:  j.metrics.MemoHits.Load(),
-		Remote:    j.metrics.Remote.Load(),
-		Created:   j.created, Started: j.started, Finished: j.finished,
+		Simulated:   j.metrics.Simulated.Load(),
+		StoreHits:   j.metrics.StoreHits.Load(),
+		MemoHits:    j.metrics.MemoHits.Load(),
+		Remote:      j.metrics.Remote.Load(),
+		Analytic:    j.metrics.Analytic.Load(),
+		Escalations: j.metrics.Escalated.Load(),
+		Created:     j.created, Started: j.started, Finished: j.finished,
 		Error: j.err, StoreErr: j.storeErr,
 	}
 }

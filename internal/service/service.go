@@ -114,6 +114,13 @@ type svcMetrics struct {
 	submitted *obs.Counter
 	queued    *obs.Gauge
 	running   *obs.Gauge
+	// The analytic fast path: how many cells the closed-form estimator
+	// served vs the exact simulator, how many auto-mode cells escalated,
+	// and the estimator's latency distribution.
+	analyticCells *obs.Counter
+	exactCells    *obs.Counter
+	escalations   *obs.Counter
+	estimateHist  *obs.Histogram
 }
 
 func newSvcMetrics(r *obs.Registry) svcMetrics {
@@ -122,6 +129,14 @@ func newSvcMetrics(r *obs.Registry) svcMetrics {
 		submitted: r.Counter("scalefold_service_jobs_submitted_total", "Jobs accepted by POST /v1/jobs."),
 		queued:    r.Gauge("scalefold_service_jobs_queued", "Jobs waiting for a scheduler slot."),
 		running:   r.Gauge("scalefold_service_jobs_running", "Jobs currently executing."),
+		analyticCells: r.Counter("scalefold_service_analytic_cells_total",
+			"Cells served by the closed-form analytic estimator."),
+		exactCells: r.Counter("scalefold_service_exact_cells_total",
+			"Cells resolved by running the exact simulator."),
+		escalations: r.Counter("scalefold_service_escalations_total",
+			"Auto-mode cells whose analytic bounds forced exact simulation."),
+		estimateHist: r.Histogram("scalefold_analytic_estimate_seconds",
+			"Latency of one closed-form analytic estimate.", nil),
 	}
 }
 
@@ -426,6 +441,7 @@ func (s *Server) runJob(j *job) {
 	sw.Metrics = &j.metrics
 	sw.Trace = j.trace
 	sw.Workers = j.spec.Workers
+	sw.OnEstimate = func(d time.Duration) { s.met.estimateHist.Observe(d.Seconds()) }
 	if s.coord != nil {
 		// Coordinator mode: store-miss cells are dispatched to the fleet, so
 		// engine "workers" are dispatch waiters, not simulations — size them
@@ -513,6 +529,12 @@ func (s *Server) runJob(j *job) {
 	}
 	sw.OnRow = j.streamRow
 	_, err := sw.Run(nil)
+	// Fold the job's resolution counts into the server-lifetime series —
+	// whatever terminal state the job reached, these count work that
+	// actually happened.
+	s.met.analyticCells.Add(j.metrics.Analytic.Load())
+	s.met.exactCells.Add(j.metrics.Simulated.Load())
+	s.met.escalations.Add(j.metrics.Escalated.Load())
 	switch {
 	case j.cancelled.Load():
 		// Cancellation wins over failure: aborting remote dispatch makes the
@@ -528,7 +550,9 @@ func (s *Server) runJob(j *job) {
 			"simulated", j.metrics.Simulated.Load(),
 			"store_hits", j.metrics.StoreHits.Load(),
 			"memo_hits", j.metrics.MemoHits.Load(),
-			"remote", j.metrics.Remote.Load())
+			"remote", j.metrics.Remote.Load(),
+			"analytic", j.metrics.Analytic.Load(),
+			"escalations", j.metrics.Escalated.Load())
 	}
 }
 

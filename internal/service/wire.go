@@ -43,6 +43,13 @@ type JobSpec struct {
 	// that don't carry their own "perturb" block. Identity-bearing:
 	// perturbed cells key under the v4 fingerprint generation.
 	Perturb *perturb.Spec `json:"perturb,omitempty"`
+	// Mode selects how cells resolve their Result: "" or "exact" simulates
+	// (the default), "analytic" serves the closed-form estimate, "auto"
+	// estimates and escalates only the cells whose error bounds straddle a
+	// decision boundary (see scalefold.SweepSpec.Mode). Applied to every
+	// grid cell and to explicit scenarios without their own "mode" field;
+	// an unknown spelling is refused with 400 at submission.
+	Mode string `json:"mode,omitempty"`
 	// Scenarios lists explicit cells in the canonical Scenario JSON schema
 	// (see docs/cli.md); non-empty Scenarios supersede the axis fields.
 	Scenarios []scenario.Scenario `json:"scenarios,omitempty"`
@@ -90,6 +97,7 @@ func (js JobSpec) sweepSpec() scalefold.SweepSpec {
 		Steps:      js.Steps,
 		SimWorkers: js.SimWorkers,
 		Perturb:    js.Perturb,
+		Mode:       js.Mode,
 		Scenarios:  js.Scenarios,
 	}
 }
@@ -121,6 +129,11 @@ type JobStatus struct {
 	StoreHits int64 `json:"store_hits"`
 	MemoHits  int64 `json:"memo_hits"`
 	Remote    int64 `json:"remote,omitempty"`
+	// Analytic counts cells served by the closed-form estimator;
+	// Escalations counts auto-mode cells whose error bounds forced exact
+	// simulation. Both are zero (and omitted) for plain exact jobs.
+	Analytic    int64 `json:"analytic,omitempty"`
+	Escalations int64 `json:"escalations,omitempty"`
 
 	Created  time.Time  `json:"created"`
 	Started  *time.Time `json:"started,omitempty"`
@@ -147,15 +160,17 @@ type RowEvent struct {
 
 // DoneEvent is the final NDJSON line of a job stream.
 type DoneEvent struct {
-	Type      string `json:"type"` // "done"
-	State     string `json:"state"`
-	Rows      int    `json:"rows"`
-	Skipped   int    `json:"skipped"`
-	Simulated int64  `json:"simulated"`
-	StoreHits int64  `json:"store_hits"`
-	MemoHits  int64  `json:"memo_hits"`
-	Remote    int64  `json:"remote,omitempty"`
-	Error     string `json:"error,omitempty"`
+	Type        string `json:"type"` // "done"
+	State       string `json:"state"`
+	Rows        int    `json:"rows"`
+	Skipped     int    `json:"skipped"`
+	Simulated   int64  `json:"simulated"`
+	StoreHits   int64  `json:"store_hits"`
+	MemoHits    int64  `json:"memo_hits"`
+	Remote      int64  `json:"remote,omitempty"`
+	Analytic    int64  `json:"analytic,omitempty"`
+	Escalations int64  `json:"escalations,omitempty"`
+	Error       string `json:"error,omitempty"`
 }
 
 // HealthStatus is the wire form of GET /v1/healthz: liveness (always OK when
