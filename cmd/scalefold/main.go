@@ -94,6 +94,9 @@ func main() {
 	case "trace":
 		traceCmd(os.Args[2:])
 		return
+	case "store":
+		storeCmd(os.Args[2:])
+		return
 	}
 	run, ok := runners[cmd]
 	if !ok && cmd != "all" {
@@ -556,6 +559,7 @@ func serveCmd(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8823", "listen address (host:port; port 0 picks a free one)")
 	storeDir := fs.String("store", "scalefold-store", `result store directory ("" = in-memory only)`)
+	storeCache := fs.Int("store-cache", 0, "store decoded-value cache entries (0 = built-in default); the index itself holds only disk offsets")
 	workers := fs.Int("workers", 0, "shared simulation worker pool across all jobs (0 = GOMAXPROCS)")
 	jobs := fs.Int("jobs", 2, "jobs executing concurrently (they share the worker pool)")
 	queue := fs.Int("queue", 64, "queued-job limit before submissions are refused with 503")
@@ -569,6 +573,7 @@ API listener so profiling is never exposed where jobs are`)
 
 	cfg := service.Config{
 		StoreDir:      *storeDir,
+		StoreCache:    *storeCache,
 		Workers:       *workers,
 		MaxActiveJobs: *jobs,
 		QueueLimit:    *queue,
@@ -790,6 +795,51 @@ func traceCmd(args []string) {
 	}
 	if *out != "-" {
 		fmt.Fprintf(os.Stderr, "trace: wrote %s for %s\n", *out, *jobID)
+	}
+}
+
+// storeCmd is offline/remote store administration. `scalefold store compact`
+// rewrites a store down to its live records — shedding overwritten
+// duplicates and pre-current-generation keys — either against a directory
+// (-dir; the store must not be open elsewhere) or through a running server's
+// admin endpoint (-server).
+func storeCmd(args []string) {
+	if len(args) < 1 || args[0] != "compact" {
+		fmt.Fprintln(os.Stderr, "store: usage: scalefold store compact [-dir DIR | -server URL]")
+		os.Exit(2)
+	}
+	fs := flag.NewFlagSet("store compact", flag.ExitOnError)
+	dir := fs.String("dir", "", "store directory to compact offline (takes the store's writer lock)")
+	server := fs.String("server", "", "running sweep server base URL to compact through (POST /v1/store/compact)")
+	fs.Parse(args[1:])
+	switch {
+	case (*dir == "") == (*server == ""):
+		fmt.Fprintln(os.Stderr, "store compact: pass exactly one of -dir or -server")
+		os.Exit(2)
+	case *server != "":
+		client := &service.Client{Base: *server}
+		st, err := client.CompactStore()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "store compact: %v\n", err)
+			os.Exit(2)
+		}
+		printJSON(st)
+	default:
+		ds, err := store.OpenDisk[cluster.Result](*dir,
+			store.WithLegacyKey(func(k string) bool { return !scenario.IsCurrentKey(k) }))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "store compact: %v\n", err)
+			os.Exit(2)
+		}
+		st, err := ds.Compact()
+		if cerr := ds.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "store compact: %v\n", err)
+			os.Exit(2)
+		}
+		printJSON(st)
 	}
 }
 

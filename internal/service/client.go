@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"strings"
+
+	"repro/internal/store"
 )
 
 // Client is the thin HTTP client behind `scalefold submit` and `scalefold
@@ -106,6 +108,17 @@ func (c *Client) StoreStatus() (StoreStatus, error) {
 		return StoreStatus{}, fmt.Errorf("service: %w", err)
 	}
 	var st StoreStatus
+	return st, decode(resp, &st)
+}
+
+// CompactStore asks the server to compact its persistent store
+// (POST /v1/store/compact) and returns the compaction statistics.
+func (c *Client) CompactStore() (store.CompactStats, error) {
+	resp, err := c.http().Post(c.url("/v1/store/compact"), "application/json", nil)
+	if err != nil {
+		return store.CompactStats{}, fmt.Errorf("service: %w", err)
+	}
+	var st store.CompactStats
 	return st, decode(resp, &st)
 }
 

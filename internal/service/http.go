@@ -16,6 +16,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/store", s.handleStore)
+	mux.HandleFunc("POST /v1/store/compact", s.handleStoreCompact)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	if s.coord != nil {
@@ -124,6 +125,21 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.StoreStatus())
+}
+
+// handleStoreCompact is the admin endpoint behind `scalefold store compact
+// -server`: rewrite the persistent store down to its live records.
+func (s *Server) handleStoreCompact(w http.ResponseWriter, r *http.Request) {
+	st, ok, err := s.CompactStore()
+	if !ok {
+		writeJSON(w, http.StatusConflict, apiError{Error: "store is memory-only; nothing to compact"})
+		return
+	}
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -42,6 +42,10 @@ type Config struct {
 	// StoreDir roots the persistent result store; "" serves from memory
 	// only (results then die with the process).
 	StoreDir string
+	// StoreCache bounds the persistent store's decoded-value cache (entries
+	// kept unmarshalled in memory; the index itself holds only disk
+	// offsets). <= 0 means store.DefaultCacheEntries.
+	StoreCache int
 	// Workers bounds total in-flight simulations across ALL jobs — the
 	// shared worker pool. <= 0 means GOMAXPROCS.
 	Workers int
@@ -199,40 +203,45 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	storeKind := "mem"
+	// Legacy keys can only come from a pre-upgrade store on disk; the store
+	// counts them incrementally while replaying its segments (no key scan,
+	// no value decodes), and `scalefold store compact` sheds them.
+	storeOpts := []store.Option{
+		store.WithLegacyKey(func(k string) bool { return !scenario.IsCurrentKey(k) }),
+	}
+	if cfg.StoreCache > 0 {
+		storeOpts = append(storeOpts, store.WithCache(cfg.StoreCache))
+	}
 	switch {
 	case cfg.StoreDir != "" && cfg.Fabric != nil:
 		// A coordinator shares its store directory with the worker fleet,
 		// so it must join as one more Shared owner: a Get miss then tails
 		// the workers' segments and finds their records, instead of the
 		// coordinator re-writing every settled cell as a duplicate.
-		sh, err := store.OpenShared[cluster.Result](cfg.StoreDir, "coordinator")
+		storeKind = "shared"
+		storeOpts = append(storeOpts, store.WithMetrics(store.NewMetrics(s.reg, storeKind)))
+		sh, err := store.OpenShared[cluster.Result](cfg.StoreDir, "coordinator", storeOpts...)
 		if err != nil {
 			return nil, err
 		}
 		s.disk, s.st = sh, sh
-		storeKind = "shared"
 	case cfg.StoreDir != "":
-		d, err := store.OpenDisk[cluster.Result](cfg.StoreDir)
+		// Metrics attach at open (not after) so the replay itself — sidecar
+		// warm loads vs self-healed scans — shows up in the registry.
+		storeKind = "disk"
+		storeOpts = append(storeOpts, store.WithMetrics(store.NewMetrics(s.reg, storeKind)))
+		d, err := store.OpenDisk[cluster.Result](cfg.StoreDir, storeOpts...)
 		if err != nil {
 			return nil, err
 		}
 		s.disk, s.st = d, d
-		storeKind = "disk"
 	default:
-		s.st = store.NewMem[cluster.Result]()
+		m := store.NewMem[cluster.Result]()
+		m.SetMetrics(store.NewMetrics(s.reg, storeKind))
+		s.st = m
 	}
-	// Every store implementation can carry metrics; attach the server's
-	// registry so lookup/append latencies and hit ratios are exported.
-	if sm, ok := s.st.(interface{ SetMetrics(*store.Metrics) }); ok {
-		sm.SetMetrics(store.NewMetrics(s.reg, storeKind))
-	}
-	// Legacy keys can only come from a pre-upgrade store on disk: every key
-	// written from here on carries the current version prefix, so the count
-	// is fixed at open time — no need to rescan per status request.
-	for _, k := range s.st.Keys() {
-		if !scenario.IsCurrentKey(k) {
-			s.legacy++
-		}
+	if lg, ok := s.st.(interface{ Legacy() int }); ok {
+		s.legacy = lg.Legacy()
 	}
 	if cfg.Fabric != nil {
 		// Share the server's registry and logger with the coordinator unless
@@ -416,11 +425,37 @@ func (s *Server) Cancel(id string) (JobStatus, bool) {
 // StoreStatus reports the persistent store's state.
 func (s *Server) StoreStatus() StoreStatus {
 	st := StoreStatus{Keys: s.st.Len(), LegacyKeys: s.legacy, Simulations: scalefold.Simulations()}
+	if lg, ok := s.st.(interface{ Legacy() int }); ok {
+		st.LegacyKeys = lg.Legacy() // live count: compaction sheds legacy keys
+	}
 	if s.disk != nil {
 		st.Dir = s.disk.Dir()
 		st.Dropped = s.disk.Dropped()
 	}
 	return st
+}
+
+// CompactStore rewrites the persistent store down to its live records,
+// shedding overwritten duplicates and legacy-generation keys (admin
+// endpoint POST /v1/store/compact). Jobs keep running: reads stay live
+// throughout, writes block only for the rewrite itself. Memory-only servers
+// report ok=false.
+func (s *Server) CompactStore() (store.CompactStats, bool, error) {
+	c, ok := s.st.(interface {
+		Compact() (store.CompactStats, error)
+	})
+	if !ok {
+		return store.CompactStats{}, false, nil
+	}
+	st, err := c.Compact()
+	if err != nil {
+		return store.CompactStats{}, true, err
+	}
+	s.log.Info("store compacted",
+		"keys", st.Keys, "rewritten", st.Rewritten, "dropped_legacy", st.DroppedLegacy,
+		"segments_before", st.SegmentsBefore, "segments_after", st.SegmentsAfter,
+		"bytes_before", st.BytesBefore, "bytes_after", st.BytesAfter)
+	return st, true, nil
 }
 
 // runJob executes one job on the shared pool. Cells resolve through three

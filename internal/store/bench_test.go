@@ -1,0 +1,304 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// BenchmarkStoreMillion characterizes the Disk store at the scale the lazy
+// index exists for: one million records. Sub-benchmarks cover Put and Get
+// throughput (sequential and concurrent, the latter against an in-bench
+// replica of the pre-sharding single-lock design), reopen latency warm
+// (sidecars) and cold (full replay), and resident index memory against the
+// decoded-values-in-a-map baseline. CI runs this with -benchtime 1x and
+// publishes the JSON stream as BENCH_store.json.
+//
+// Scale with the env knob: SCALEFOLD_BENCH_RECORDS=100000 for a quick local
+// run (default 1e6).
+func BenchmarkStoreMillion(b *testing.B) {
+	n := benchRecords()
+	b.Run("put", func(b *testing.B) {
+		for it := 0; it < b.N; it++ {
+			dir := b.TempDir()
+			d, err := OpenDisk[cluster.Result](dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				if err := d.Put(benchKey(i), benchResult(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n)/time.Since(start).Seconds(), "puts/s")
+			if err := d.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	dir := benchSeedDir(b, n)
+
+	b.Run("get", func(b *testing.B) {
+		d := benchOpen(b, dir)
+		defer d.Close()
+		rng := rand.New(rand.NewSource(1))
+		start := time.Now()
+		ops := 0
+		for it := 0; it < b.N; it++ {
+			for i := 0; i < n/10; i++ {
+				k := benchKey(rng.Intn(n))
+				if _, ok := d.Get(k); !ok {
+					b.Fatalf("miss on %s", k)
+				}
+				ops++
+			}
+		}
+		b.ReportMetric(float64(ops)/time.Since(start).Seconds(), "gets/s")
+	})
+
+	// Concurrent mixed workload (15/16 Get over a cache-resident hot set,
+	// 1/16 Put) on the sharded index vs the identical store collapsed to a
+	// single lock (WithShards(1)) — the pre-sharding design's global-mutex
+	// bottleneck. Every Get serializes on the one mutex there, while the
+	// 64-shard store spreads them; the ratio tracks core count, so a
+	// single-CPU runner reports ~1× and the ≥4× separation shows on
+	// multi-core CI hardware.
+	const mixedOps = 1 << 17
+	for _, cfg := range []struct {
+		name   string
+		shards int
+	}{
+		{"mixed-parallel", DefaultShards},
+		{"mixed-parallel-single-lock", 1},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			d, err := OpenDisk[cluster.Result](dir, WithShards(cfg.shards))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			ops := benchMixed(b, n, mixedOps, d.Get, d.Put)
+			b.ReportMetric(ops, "ops/s")
+		})
+	}
+
+	b.Run("reopen-warm", func(b *testing.B) {
+		for it := 0; it < b.N; it++ {
+			start := time.Now()
+			d := benchOpen(b, dir)
+			b.ReportMetric(time.Since(start).Seconds()*1000, "ms/open")
+			if d.Replayed() != 0 {
+				b.Fatalf("warm reopen parsed %d records", d.Replayed())
+			}
+			if d.Len() != n {
+				b.Fatalf("len = %d, want %d", d.Len(), n)
+			}
+			d.Close()
+		}
+	})
+
+	b.Run("reopen-cold", func(b *testing.B) {
+		for it := 0; it < b.N; it++ {
+			cold := benchCloneWithoutSidecars(b, dir)
+			start := time.Now()
+			d, err := OpenDisk[cluster.Result](cold)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(time.Since(start).Seconds()*1000, "ms/open")
+			if d.Len() != n {
+				b.Fatalf("len = %d, want %d", d.Len(), n)
+			}
+			d.Close()
+		}
+	})
+
+	// Resident index memory per record, against the decoded-map baseline
+	// (what the pre-lazy store held: every cluster.Result live in a
+	// map[string]Result).
+	b.Run("index-bytes", func(b *testing.B) {
+		for it := 0; it < b.N; it++ {
+			lazy := residentBytes(b, func() func() {
+				d := benchOpen(b, dir)
+				return func() { d.Close() }
+			})
+			baseline := residentBytes(b, func() func() {
+				m := make(map[string]cluster.Result, n)
+				for i := 0; i < n; i++ {
+					m[benchKey(i)] = benchResult(i)
+				}
+				return func() { runtime.KeepAlive(m) }
+			})
+			b.ReportMetric(float64(lazy)/float64(n), "index-B/rec")
+			b.ReportMetric(float64(baseline)/float64(n), "baseline-B/rec")
+			b.ReportMetric(float64(baseline)/float64(lazy), "mem-ratio")
+		}
+	})
+}
+
+func benchRecords() int {
+	if s := os.Getenv("SCALEFOLD_BENCH_RECORDS"); s != "" {
+		var n int
+		if _, err := fmt.Sscanf(s, "%d", &n); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 1_000_000
+}
+
+func benchKey(i int) string { return fmt.Sprintf("v3:%032x", i) }
+
+// benchResult fills a cluster.Result with plausible nonzero values so its
+// JSON lines are realistically sized.
+func benchResult(i int) cluster.Result {
+	d := time.Duration(i%1000+1) * time.Millisecond
+	var r cluster.Result
+	r.MeanStep = 170*time.Millisecond + d
+	r.MedianStep = 160*time.Millisecond + d
+	r.P99Step = 500*time.Millisecond + d
+	r.GraphCapture = 30 * time.Second
+	r.Break.GPUCompute = 120 * time.Millisecond
+	r.Break.CPUExposed = 10 * time.Millisecond
+	r.Break.DataWait = d / 7
+	r.Break.CommXfer = 20 * time.Millisecond
+	r.Break.CommWait = d / 11
+	return r
+}
+
+var benchSeeds sync.Map // n → *benchSeedState
+
+type benchSeedState struct {
+	once sync.Once
+	dir  string
+	err  error
+}
+
+// benchSeedDir builds (once per process per size) a store directory holding
+// n records, shared by the read-side sub-benchmarks.
+func benchSeedDir(b *testing.B, n int) string {
+	v, _ := benchSeeds.LoadOrStore(n, &benchSeedState{})
+	st := v.(*benchSeedState)
+	st.once.Do(func() {
+		dir, err := os.MkdirTemp("", "scalefold-bench-store-")
+		if err != nil {
+			st.err = err
+			return
+		}
+		d, err := OpenDisk[cluster.Result](dir)
+		if err != nil {
+			st.err = err
+			return
+		}
+		for i := 0; i < n; i++ {
+			if err := d.Put(benchKey(i), benchResult(i)); err != nil {
+				st.err = err
+				return
+			}
+		}
+		if err := d.Close(); err != nil {
+			st.err = err
+			return
+		}
+		st.dir = dir
+	})
+	if st.err != nil {
+		b.Fatal(st.err)
+	}
+	return st.dir
+}
+
+func benchOpen(b *testing.B, dir string) *Disk[cluster.Result] {
+	b.Helper()
+	d, err := OpenDisk[cluster.Result](dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// benchCloneWithoutSidecars hard-links the seed segments into a fresh dir,
+// leaving the sidecars behind — a cold open against the same data.
+func benchCloneWithoutSidecars(b *testing.B, dir string) string {
+	b.Helper()
+	cold := b.TempDir()
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range segs {
+		if err := os.Link(s, filepath.Join(cold, filepath.Base(s))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return cold
+}
+
+// benchMixed drives the mixed Get/Put workload with 2×GOMAXPROCS goroutines
+// and reports aggregate ops/s. Gets draw from a hot set small enough to stay
+// resident in the decode cache — a sweep recomputing figures over a settled
+// store — so the measurement isolates index locking, not JSON decode.
+func benchMixed(b *testing.B, n, total int,
+	get func(string) (cluster.Result, bool), put func(string, cluster.Result) error,
+) float64 {
+	b.Helper()
+	hot := DefaultCacheEntries / 2
+	if hot > n {
+		hot = n
+	}
+	workers := 2 * runtime.GOMAXPROCS(0)
+	perWorker := total / workers
+	var best float64
+	for it := 0; it < b.N; it++ {
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w)))
+				for i := 0; i < perWorker; i++ {
+					if i%16 == 15 {
+						if err := put(benchKey(rng.Intn(n)), benchResult(i)); err != nil {
+							b.Error(err)
+							return
+						}
+					} else if k := benchKey(rng.Intn(hot)); true {
+						if _, ok := get(k); !ok {
+							b.Errorf("miss on %s", k)
+							return
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if ops := float64(perWorker*workers) / time.Since(start).Seconds(); ops > best {
+			best = ops
+		}
+	}
+	return best
+}
+
+// residentBytes measures the heap growth attributable to build(), holding
+// its product live across the measurement.
+func residentBytes(b *testing.B, build func() func()) int64 {
+	b.Helper()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	release := build()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	grown := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	release()
+	return grown
+}

@@ -1,11 +1,12 @@
 package store
 
 import (
-	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -21,14 +22,22 @@ type record struct {
 	Val json.RawMessage `json:"v"`
 }
 
-// Disk is a disk-persistent Store: an append-only log of JSON-lines segment
-// files (seg-00000001.jsonl, seg-00000002.jsonl, ...) plus an in-memory index
-// rebuilt by replaying every segment at open time. Writes append one line per
-// Put and rotate to a fresh segment past SegmentBytes; reads are index
-// lookups and never touch the disk. Within and across segments the last
-// write for a key wins, so overwrites need no in-place mutation and a
-// crash can at worst lose the final, partially written line — which reload
-// detects and drops (see Dropped).
+// Disk is a disk-persistent Store built for millions of records: an
+// append-only log of JSON-lines segment files (seg-00000001.jsonl, ...)
+// under a fingerprint-sharded lazy index. The index maps key →
+// (segment, offset, length) — a few tens of bytes per record instead of a
+// decoded value — and Get decodes on demand through a small bounded LRU of
+// hot entries. Each sealed segment carries a sidecar seg-N.idx (written at
+// rotation and Close), so a warm reopen loads offsets instead of re-parsing
+// JSON; segments without a valid sidecar replay concurrently, and a
+// replayed sealed segment gets its sidecar rewritten so the next open is
+// warm. Within and across segments the last write for a key wins; a crash
+// can at worst lose the final, partially written line — detected and
+// dropped at replay (see Dropped).
+//
+// The on-disk record format is unchanged from the first Disk generation:
+// existing store directories keep serving with no key changes, and
+// directories written by this version replay fine without their sidecars.
 //
 // Values round-trip through encoding/json, so R must marshal losslessly
 // (cluster.Result does: integer counts, nanosecond time.Durations, and
@@ -39,17 +48,30 @@ type Disk[R any] struct {
 	// Set it before the first Put; it is read under the store lock.
 	SegmentBytes int64
 
-	mu      sync.RWMutex
-	dir     string
-	lock    *os.File // flock-held .lock file: one process owns the directory
-	idx     map[string]R
+	dir  string
+	lock *os.File // flock-held .lock file: one process owns the directory
+	cfg  config
+	met  atomic.Pointer[Metrics]
+
+	idx *index[R]
+	tab *segTable
+
+	// Writer state: the active segment and the entry log that becomes its
+	// sidecar at seal time. Reads never take wmu — they go through the
+	// sharded index and per-segment read handles.
+	wmu     sync.Mutex
 	seg     *os.File // active segment; nil until the first Put
+	segID   int32    // its id in the segment table
+	segPath string
 	segSize int64
 	segSeq  int  // sequence number of the last segment (existing or active)
 	torn    bool // last write failed: rotate before appending again
-	dropped int
 	closed  bool
-	met     atomic.Pointer[Metrics]
+	pending []sideEntry      // active segment's records, for its sidecar
+	live    map[int32]string // id → path of this store's current segments
+
+	dropped  atomic.Int64
+	replayed atomic.Int64
 }
 
 // SetMetrics attaches (or, with nil, detaches) observability series. Safe to
@@ -59,17 +81,20 @@ func (d *Disk[R]) SetMetrics(m *Metrics) {
 	m.records(d.Len())
 }
 
-// OpenDisk opens (creating if needed) a disk store rooted at dir and replays
-// its segments into the in-memory index. Lines that fail to parse — the torn
-// tail of a crashed process — are skipped and counted, never fatal; a
-// missing directory is created.
+// OpenDisk opens (creating if needed) a disk store rooted at dir and builds
+// its index: sidecar-indexed segments load without touching record bytes,
+// the rest replay concurrently (line parse errors — the torn tail of a
+// crashed process — are skipped and counted, never fatal). A missing
+// directory is created.
 //
 // The directory is single-writer: OpenDisk takes an exclusive flock on
 // dir/.lock (released by Close, or automatically when the process dies), so
 // a second process pointing at the same directory fails fast instead of
 // interleaving segment writes and serving a stale index. To share a live
-// store across processes, submit jobs to the server that holds it.
-func OpenDisk[R any](dir string) (*Disk[R], error) {
+// store across processes, submit jobs to the server that holds it, or use
+// OpenShared's per-owner leases.
+func OpenDisk[R any](dir string, opts ...Option) (*Disk[R], error) {
+	cfg := buildConfig(opts)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -81,18 +106,36 @@ func OpenDisk[R any](dir string) (*Disk[R], error) {
 		lock.Close()
 		return nil, fmt.Errorf("store: %s is held by another process (the store is single-writer): %w", dir, err)
 	}
-	d := &Disk[R]{SegmentBytes: DefaultSegmentBytes, dir: dir, lock: lock, idx: map[string]R{}}
+	d := &Disk[R]{
+		SegmentBytes: DefaultSegmentBytes,
+		dir:          dir,
+		lock:         lock,
+		cfg:          cfg,
+		tab:          &segTable{},
+		live:         map[int32]string{},
+	}
+	d.met.Store(cfg.metrics)
+	d.idx = newIndex[R](cfg.shards, cfg.cacheEntries, cfg.legacy, &d.met)
 	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
 	if err != nil {
 		lock.Close()
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	sort.Strings(segs) // zero-padded names sort in write order
-	for _, path := range segs {
-		if err := d.replay(path); err != nil {
-			lock.Close()
-			return nil, err
-		}
+	// Register ids in name order so the index's (segment, offset) versioning
+	// matches write order, then replay concurrently — last-write-wins is
+	// resolved per key by that versioning, not by replay scheduling.
+	ids := make([]int32, len(segs))
+	for i, path := range segs {
+		ids[i] = d.tab.add(path)
+		d.live[ids[i]] = path
+	}
+	if err := replayAll(d.idx, d.tab, segs, ids, replayOpts{
+		selfHeal: true, tornIsDropped: true,
+		dropped: &d.dropped, replayed: &d.replayed, met: &d.met,
+	}); err != nil {
+		lock.Close()
+		return nil, err
 	}
 	// Resume numbering after the newest existing plain segment. New writes
 	// always start a fresh segment: the old tail may end in a torn line.
@@ -106,43 +149,138 @@ func OpenDisk[R any](dir string) (*Disk[R], error) {
 	return d, nil
 }
 
-// replay loads one segment file into the index.
-func (d *Disk[R]) replay(path string) error {
-	f, err := os.Open(path)
+// replayOpts parameterizes segment replay between Disk (heal sidecars,
+// count torn tails as dropped) and Shared (own segments heal, foreign
+// tails stay pending).
+type replayOpts struct {
+	selfHeal      bool // rewrite missing/stale sidecars after replay
+	tornIsDropped bool // a trailing newline-less line counts as dropped
+	dropped       *atomic.Int64
+	replayed      *atomic.Int64
+	met           *atomic.Pointer[Metrics]
+}
+
+// replayAll loads segments into the index, a bounded worker per segment.
+func replayAll[R any](ix *index[R], tab *segTable, paths []string, ids []int32, o replayOpts) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(paths) {
+		workers = len(paths)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	var firstErr error
+	var errMu sync.Mutex
+	for i := range paths {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(path string, id int32) {
+			defer func() { <-sem; wg.Done() }()
+			if err := replayOne(ix, path, id, o); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+		}(paths[i], ids[i])
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// replayOne indexes one segment: sidecar entries for the covered prefix,
+// a scan for whatever the sidecar does not cover, and (optionally) a
+// rewritten sidecar so the next open takes the fast path.
+func replayOne[R any](ix *index[R], path string, id int32, o replayOpts) error {
+	st, err := os.Stat(path)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 64<<10), 16<<20)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var rec record
-		var v R
-		if json.Unmarshal(line, &rec) != nil || rec.Key == "" || json.Unmarshal(rec.Val, &v) != nil {
-			d.dropped++
-			continue
-		}
-		d.idx[rec.Key] = v
+	size := st.Size()
+	if size > maxSegmentOff {
+		return fmt.Errorf("store: %s: %w", path, errSegmentTooLarge)
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("store: reading %s: %w", path, err)
+	entries, dropped, covered, warm := loadSidecar(path, size)
+	if warm {
+		o.met.Load().sidecarLoad()
+	} else {
+		entries, dropped, covered = nil, 0, 0
+	}
+	torn := false
+	if covered < size {
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if _, err := f.Seek(covered, 0); err != nil {
+			f.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+		res, err := scanSegment(f, covered)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("store: reading %s: %w", path, err)
+		}
+		entries = append(entries, res.entries...)
+		dropped += res.dropped
+		covered += res.consumed
+		torn = res.torn
+		o.replayed.Add(int64(res.parsed))
+		// The scan did work a sidecar would have avoided: seal what we
+		// learned so the next open of this (now static) segment is warm.
+		if o.selfHeal && res.parsed > 0 {
+			if writeSidecar(path, covered, dropped, entries) == nil {
+				o.met.Load().sidecarRebuild()
+			}
+		}
+	}
+	for _, e := range entries {
+		ix.setIfNewer(e.Key, ref{off: e.Off, llen: e.Len, seg: id}, nil)
+	}
+	o.dropped.Add(int64(dropped))
+	if torn && o.tornIsDropped {
+		o.dropped.Add(1)
 	}
 	return nil
 }
 
-// Get returns the stored value for key, if any.
+// Get returns the stored value for key, if any: an index hit serves from
+// the decode cache or reads exactly one record's bytes off disk. A ref
+// invalidated by a concurrent compaction retries once through the index.
 func (d *Disk[R]) Get(key string) (R, bool) {
 	mt := d.met.Load()
 	t0 := mt.start()
-	d.mu.RLock()
-	v, ok := d.idx[key]
-	d.mu.RUnlock()
+	v, ok := getLazy(d.idx, d.tab, key, &d.met)
 	mt.lookup(t0, ok)
 	return v, ok
+}
+
+// getLazy is the shared Disk/Shared read path: index → LRU → one pread.
+func getLazy[R any](ix *index[R], tab *segTable, key string, met *atomic.Pointer[Metrics]) (R, bool) {
+	var zero R
+	for attempt := 0; attempt < 2; attempt++ {
+		v, rf, cached, ok := ix.cachedOrRef(key)
+		if !ok {
+			return zero, false
+		}
+		if cached {
+			return v, true
+		}
+		got, err := fetchRecord[R](tab, rf, key)
+		if err == nil {
+			ix.admit(key, rf, got)
+			return got, true
+		}
+		if errors.Is(err, errStaleRef) {
+			continue // compaction moved the record; re-resolve
+		}
+		met.Load().decodeError()
+		return zero, false
+	}
+	return zero, false
 }
 
 // Put appends the record to the active segment and updates the index. The
@@ -152,24 +290,21 @@ func (d *Disk[R]) Put(key string, v R) error {
 	if key == "" {
 		return fmt.Errorf("store: empty key")
 	}
-	val, err := json.Marshal(v)
+	line, err := encodeRecord(key, v)
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return err
 	}
-	line, err := json.Marshal(record{Key: key, Val: val})
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	line = append(line, '\n')
 	mt := d.met.Load()
 	t0 := mt.start()
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.wmu.Lock()
 	if d.closed {
+		d.wmu.Unlock()
 		return fmt.Errorf("store: closed")
 	}
-	if d.seg == nil || d.segSize >= d.SegmentBytes || d.torn {
+	if d.seg == nil || d.segSize >= d.SegmentBytes || d.torn ||
+		d.segSize+int64(len(line)) > maxSegmentOff {
 		if err := d.rotateLocked(); err != nil {
+			d.wmu.Unlock()
 			return err
 		}
 	}
@@ -179,21 +314,36 @@ func (d *Disk[R]) Put(key string, v R) error {
 		// Rotate before the next write — reload then drops only the torn
 		// line, whose Put already reported failure.
 		d.torn = true
+		d.wmu.Unlock()
 		return fmt.Errorf("store: %w", err)
 	}
+	rf := ref{off: uint32(d.segSize), llen: uint32(len(line) - 1), seg: d.segID}
+	d.pending = append(d.pending, sideEntry{Off: rf.off, Len: rf.llen, Key: key})
 	d.segSize += int64(len(line))
-	d.idx[key] = v
-	mt.appended(t0, len(d.idx))
+	d.wmu.Unlock()
+	d.idx.setIfNewer(key, rf, &v)
+	mt.appended(t0, int(d.idx.count.Load()))
 	return nil
 }
 
-// rotateLocked closes the active segment and opens the next one.
+// encodeRecord renders one log line (including the trailing newline).
+func encodeRecord[R any](key string, v R) ([]byte, error) {
+	val, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	line, err := json.Marshal(record{Key: key, Val: val})
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return append(line, '\n'), nil
+}
+
+// rotateLocked seals the active segment (sidecar + close) and opens the
+// next one. Callers hold wmu.
 func (d *Disk[R]) rotateLocked() error {
-	if d.seg != nil {
-		if err := d.seg.Close(); err != nil {
-			return fmt.Errorf("store: %w", err)
-		}
-		d.seg = nil
+	if err := d.sealLocked(); err != nil {
+		return err
 	}
 	d.torn = false
 	d.segSeq++
@@ -202,46 +352,62 @@ func (d *Disk[R]) rotateLocked() error {
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	d.seg, d.segSize = f, 0
+	d.seg, d.segPath, d.segSize, d.pending = f, path, 0, nil
+	d.segID = d.tab.add(path)
+	d.live[d.segID] = path
 	d.met.Load().rotated()
 	return nil
 }
 
-// Keys returns every stored key, sorted.
-func (d *Disk[R]) Keys() []string {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	keys := make([]string, 0, len(d.idx))
-	for k := range d.idx {
-		keys = append(keys, k)
+// sealLocked closes the active segment, writing its sidecar first so the
+// next open never replays it. Sidecar failures are swallowed: the sidecar
+// is a cache, and replay rebuilds it. Callers hold wmu.
+func (d *Disk[R]) sealLocked() error {
+	if d.seg == nil {
+		return nil
 	}
-	sort.Strings(keys)
-	return keys
+	if writeSidecar(d.segPath, d.segSize, 0, d.pending) == nil {
+		d.met.Load().sidecarRebuild()
+	}
+	if err := d.seg.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	d.seg, d.pending = nil, nil
+	return nil
 }
 
-// Len returns the number of stored keys.
-func (d *Disk[R]) Len() int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return len(d.idx)
-}
+// Keys returns every stored key, sorted. O(n log n) — prefer Len for
+// stats-style callers.
+func (d *Disk[R]) Keys() []string { return d.idx.keys() }
+
+// Len returns the number of stored keys. Allocation-free: a single atomic
+// load off the sharded index.
+func (d *Disk[R]) Len() int { return int(d.idx.count.Load()) }
+
+// Legacy returns how many stored keys the configured WithLegacyKey
+// predicate classifies as legacy (pre-current-fingerprint generations).
+// Counted incrementally during replay and Put — never by rescanning keys —
+// and reduced by Compact, which drops legacy records. Zero when the store
+// was opened without a predicate.
+func (d *Disk[R]) Legacy() int { return int(d.idx.legacy.Load()) }
 
 // Dropped returns how many unparsable log lines the open-time replay skipped
 // — normally zero; nonzero after a crash tore the final line, or if a
 // segment was corrupted out-of-band.
-func (d *Disk[R]) Dropped() int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.dropped
-}
+func (d *Disk[R]) Dropped() int { return int(d.dropped.Load()) }
+
+// Replayed returns how many record lines were JSON-parsed while opening the
+// store. A warm open — every segment carrying a valid sidecar — reports 0:
+// the index was built from offsets alone.
+func (d *Disk[R]) Replayed() int { return int(d.replayed.Load()) }
 
 // Dir returns the directory backing the store.
 func (d *Disk[R]) Dir() string { return d.dir }
 
 // Sync forces the active segment to stable storage.
 func (d *Disk[R]) Sync() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
 	if d.seg == nil {
 		return nil
 	}
@@ -251,11 +417,12 @@ func (d *Disk[R]) Sync() error {
 	return nil
 }
 
-// Close syncs and closes the active segment and releases the directory
-// lock. The index stays readable; Put fails after Close.
+// Close seals the active segment (sidecar included, so the next open is
+// warm), closes every read handle and releases the directory lock. The
+// index stays readable; Put fails after Close.
 func (d *Disk[R]) Close() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
 	if d.closed {
 		return nil
 	}
@@ -263,11 +430,11 @@ func (d *Disk[R]) Close() error {
 	var err error
 	if d.seg != nil {
 		err = d.seg.Sync()
-		if cerr := d.seg.Close(); err == nil {
-			err = cerr
+		if serr := d.sealLocked(); err == nil {
+			err = serr
 		}
-		d.seg = nil
 	}
+	d.tab.closeAll()
 	if d.lock != nil {
 		if cerr := d.lock.Close(); err == nil {
 			err = cerr

@@ -1,0 +1,131 @@
+package store
+
+import "encoding/hex"
+
+// ikey is a compact inline form of a store key, sized so the index costs a
+// few tens of bytes per record instead of a decoded value. Two encodings
+// cover every key the repo mints, and a per-shard overflow map catches the
+// rest:
+//
+//   - ikeyHex: versioned fingerprint keys — "v<N>:" + 32 lowercase hex
+//     digits (scenario.Fingerprint's v3/v4/v5 generations). The 16 hash
+//     bytes are stored raw and the version in a byte, so a 35-character
+//     key costs 17 bytes inline.
+//   - ikeyRaw: any other key of at most ikeyInline bytes, stored verbatim.
+//
+// Longer keys report !ok from makeIkey and live in the shard's overflow
+// map[string]ref — correct for arbitrary keys, just not compact.
+type ikey struct {
+	kind byte // ikeyEmpty, ikeyRaw or ikeyHex
+	n    byte // ikeyRaw: key length; ikeyHex: fingerprint version
+	b    [ikeyInline]byte
+}
+
+const (
+	ikeyEmpty = iota // zero value: a free index slot
+	ikeyRaw
+	ikeyHex
+
+	// ikeyInline is the inline key capacity: exactly the 16 raw hash bytes
+	// of a fingerprint key, keeping the index slot (ikey + packed ref) at
+	// 32 bytes. Short ad-hoc keys fit too; anything longer overflows to the
+	// shard map.
+	ikeyInline = 16
+
+	fingerprintHexLen = 32 // hex digits in a versioned fingerprint key
+)
+
+// makeIkey encodes key inline. ok is false when the key needs the overflow
+// map instead.
+func makeIkey(key string) (ikey, bool) {
+	if v, sum, isFP := splitFingerprint(key); isFP {
+		k := ikey{kind: ikeyHex, n: v}
+		copy(k.b[:], sum)
+		return k, true
+	}
+	if len(key) <= ikeyInline && len(key) > 0 {
+		k := ikey{kind: ikeyRaw, n: byte(len(key))}
+		copy(k.b[:], key)
+		return k, true
+	}
+	return ikey{}, false
+}
+
+// splitFingerprint parses "v<N>:<32 hex>" into (version, 16 raw bytes).
+// Anything else — including uppercase hex or versions above 255 — reports
+// false and takes the raw/overflow path.
+func splitFingerprint(key string) (byte, []byte, bool) {
+	if len(key) < 3+fingerprintHexLen || key[0] != 'v' {
+		return 0, nil, false
+	}
+	v := 0
+	i := 1
+	for ; i < len(key) && key[i] != ':'; i++ {
+		c := key[i]
+		if c < '0' || c > '9' || i > 3 {
+			return 0, nil, false
+		}
+		v = v*10 + int(c-'0')
+	}
+	if i == 1 || v > 255 || i >= len(key) || len(key)-i-1 != fingerprintHexLen {
+		return 0, nil, false
+	}
+	hexPart := key[i+1:]
+	for j := 0; j < len(hexPart); j++ {
+		c := hexPart[j]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return 0, nil, false
+		}
+	}
+	sum, err := hex.DecodeString(hexPart)
+	if err != nil {
+		return 0, nil, false
+	}
+	return byte(v), sum, true
+}
+
+// String reconstructs the original key.
+func (k ikey) String() string {
+	switch k.kind {
+	case ikeyRaw:
+		return string(k.b[:k.n])
+	case ikeyHex:
+		buf := make([]byte, 0, 4+fingerprintHexLen)
+		buf = append(buf, 'v')
+		if k.n >= 100 {
+			buf = append(buf, '0'+k.n/100)
+		}
+		if k.n >= 10 {
+			buf = append(buf, '0'+(k.n/10)%10)
+		}
+		buf = append(buf, '0'+k.n%10, ':')
+		var hx [fingerprintHexLen]byte
+		hex.Encode(hx[:], k.b[:fingerprintHexLen/2])
+		return string(append(buf, hx[:]...))
+	}
+	return ""
+}
+
+// hashKey positions a key in the index: the top bits pick the shard, the
+// full value the slot. Inline FNV-1a (rather than hash/fnv) keeps the hot
+// Get/Len path allocation-free, and the murmur-style finalizer fixes FNV's
+// weak avalanche into the top bits — without it, keys differing only in
+// their last characters (counter-style test keys) collapse onto a few
+// shards and thrash those shards' caches.
+func hashKey(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

@@ -1,0 +1,202 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// maxSegmentOff is the largest byte offset a ref can address. Rotation
+// thresholds are a few MB, so this is a correctness guard against operator
+// error (a hand-built 4GB segment), not a capacity limit.
+const maxSegmentOff = 1<<32 - 1
+
+// errSegmentTooLarge reports a segment whose offsets exceed the ref space.
+var errSegmentTooLarge = errors.New("store: segment exceeds 4GiB; split it or compact with a smaller SegmentBytes")
+
+// segFile is one segment in the table: its path and a lazily opened
+// read-only handle used by Get-time fetches. The handle is independent of
+// the writer's append handle, so reads never seek the write position.
+type segFile struct {
+	path string
+	mu   sync.Mutex
+	f    *os.File
+}
+
+// readAt fills buf from the segment at off, opening the read handle on
+// first use.
+func (s *segFile) readAt(buf []byte, off int64) error {
+	s.mu.Lock()
+	if s.f == nil {
+		f, err := os.Open(s.path)
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		s.f = f
+	}
+	f := s.f
+	s.mu.Unlock()
+	_, err := f.ReadAt(buf, off)
+	return err
+}
+
+func (s *segFile) close() {
+	s.mu.Lock()
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+	s.mu.Unlock()
+}
+
+// segTable maps ref.seg ids to segment files. Ids are append-only — a
+// compacted-away segment keeps its id with a nil entry, so a concurrent
+// reader holding a stale ref fails cleanly and retries through the index
+// rather than reading the wrong file.
+type segTable struct {
+	mu   sync.RWMutex
+	segs []*segFile
+}
+
+// add registers a segment and returns its id.
+func (t *segTable) add(path string) int32 {
+	t.mu.Lock()
+	t.segs = append(t.segs, &segFile{path: path})
+	id := int32(len(t.segs) - 1)
+	t.mu.Unlock()
+	return id
+}
+
+func (t *segTable) get(id int32) *segFile {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if id < 0 || int(id) >= len(t.segs) {
+		return nil
+	}
+	return t.segs[id]
+}
+
+// drop forgets a compacted-away segment and closes its read handle.
+func (t *segTable) drop(id int32) {
+	t.mu.Lock()
+	var s *segFile
+	if id >= 0 && int(id) < len(t.segs) {
+		s, t.segs[id] = t.segs[id], nil
+	}
+	t.mu.Unlock()
+	if s != nil {
+		s.close()
+	}
+}
+
+func (t *segTable) closeAll() {
+	t.mu.Lock()
+	segs := t.segs
+	t.segs = nil
+	t.mu.Unlock()
+	for _, s := range segs {
+		if s != nil {
+			s.close()
+		}
+	}
+}
+
+// fetchRecord reads and decodes the record a ref points at, verifying the
+// stored key matches the requested one (insurance against a sidecar or
+// index bug ever serving another record's bytes). The error distinguishes
+// "segment gone" (retry through the index — compaction moved the record)
+// from a decode failure.
+func fetchRecord[R any](tab *segTable, rf ref, key string) (R, error) {
+	var v R
+	sf := tab.get(rf.seg)
+	if sf == nil {
+		return v, errStaleRef
+	}
+	buf := make([]byte, rf.llen)
+	if err := sf.readAt(buf, int64(rf.off)); err != nil {
+		return v, errStaleRef
+	}
+	var rec record
+	if err := json.Unmarshal(buf, &rec); err != nil {
+		return v, fmt.Errorf("store: record at %s+%d: %w", sf.path, rf.off, err)
+	}
+	if rec.Key != key {
+		return v, fmt.Errorf("store: record at %s+%d holds key %q, want %q", sf.path, rf.off, rec.Key, key)
+	}
+	if err := json.Unmarshal(rec.Val, &v); err != nil {
+		return v, fmt.Errorf("store: record at %s+%d: %w", sf.path, rf.off, err)
+	}
+	return v, nil
+}
+
+// errStaleRef marks a fetch that raced compaction: the caller re-resolves
+// the key through the index and retries once.
+var errStaleRef = errors.New("store: stale segment ref")
+
+// scanResult is what scanning a segment (or a segment tail) yields.
+type scanResult struct {
+	entries  []sideEntry // valid records, in file order
+	dropped  int         // complete lines that failed to parse
+	parsed   int         // lines JSON-parsed (the replay cost a sidecar avoids)
+	consumed int64       // bytes up to and including the last complete line
+	torn     bool        // trailing bytes with no newline
+}
+
+// scanSegment replays segment bytes from base, collecting one sideEntry per
+// valid record line. Lines of any length are handled — the reader grows per
+// line instead of imposing a fixed cap (the old bufio.Scanner silently
+// stopped at 16MB, truncating the rest of the segment). Only the record
+// envelope is parsed; values stay raw bytes on disk until a Get wants them.
+func scanSegment(r io.Reader, base int64) (scanResult, error) {
+	res := scanResult{}
+	br := bufio.NewReaderSize(r, 256<<10)
+	off := base
+	var long []byte // scratch for lines longer than the reader buffer
+	for {
+		line, err := br.ReadSlice('\n')
+		if errors.Is(err, bufio.ErrBufferFull) {
+			long = append(long[:0], line...)
+			for errors.Is(err, bufio.ErrBufferFull) {
+				line, err = br.ReadSlice('\n')
+				long = append(long, line...)
+			}
+			line = long
+		}
+		if len(line) > 0 && err == nil || len(line) > 0 && errors.Is(err, io.EOF) {
+			complete := line[len(line)-1] == '\n'
+			if !complete {
+				res.torn = true
+				return res, nil
+			}
+			llen := int64(len(line)) - 1
+			if off > maxSegmentOff || llen > maxSegmentOff {
+				return res, errSegmentTooLarge
+			}
+			body := line[:llen]
+			if len(body) > 0 {
+				res.parsed++
+				var rec record
+				if json.Unmarshal(body, &rec) != nil || rec.Key == "" {
+					res.dropped++
+				} else {
+					res.entries = append(res.entries, sideEntry{
+						Off: uint32(off), Len: uint32(llen), Key: rec.Key,
+					})
+				}
+			}
+			off += llen + 1
+			res.consumed = off - base
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return res, nil
+			}
+			return res, fmt.Errorf("store: %w", err)
+		}
+	}
+}

@@ -1,11 +1,7 @@
 package store
 
 import (
-	"bufio"
-	"bytes"
-	"encoding/json"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -23,31 +19,57 @@ import (
 // is ever contended across processes, so the single-writer invariant Disk
 // enforces per directory holds per owner instead.
 //
+// Shared shares Disk's million-record machinery: the fingerprint-sharded
+// lazy index (key → segment/offset/length, values decoded on demand through
+// a bounded LRU), sidecar-indexed warm opens, and Compact — which rewrites
+// only this owner's segments and leaves every other owner's untouched.
+//
 // Foreign segments are tailed incrementally: Refresh (and every Get miss)
-// replays only the bytes other owners appended since the last look, and only
+// indexes only the bytes other owners appended since the last look, and only
 // complete lines — a torn tail another process is mid-writing is left for the
-// next pass, never dropped. Because values are deterministic functions of
-// their fingerprint key, concurrent writers racing on the same key are
-// byte-equivalent and last-write-wins is safe.
+// next pass, never dropped. A foreign segment's sidecar (written when its
+// owner sealed it) warm-starts the tail at the covered prefix. Because values
+// are deterministic functions of their fingerprint key, concurrent writers
+// racing on the same key are byte-equivalent and last-write-wins is safe.
 type Shared[R any] struct {
 	// SegmentBytes is the rotation threshold (default DefaultSegmentBytes).
 	// Set it before the first Put; it is read under the store lock.
 	SegmentBytes int64
 
-	mu      sync.Mutex
-	dir     string
-	owner   string
-	prefix  string   // "seg-<owner>-": this store's segment namespace
-	lock    *os.File // flock-held .lock-<owner> file
-	idx     map[string]R
-	offsets map[string]int64 // foreign segment → bytes consumed
-	seg     *os.File         // active own segment; nil until the first Put
+	dir    string
+	owner  string
+	prefix string   // "seg-<owner>-": this store's segment namespace
+	lock   *os.File // flock-held .lock-<owner> file
+	cfg    config
+	met    atomic.Pointer[Metrics]
+
+	idx *index[R]
+	tab *segTable
+
+	// Writer state for this owner's lease (mirrors Disk).
+	wmu     sync.Mutex
+	seg     *os.File // active own segment; nil until the first Put
+	segID   int32
+	segPath string
 	segSize int64
 	segSeq  int
 	torn    bool
-	dropped int
 	closed  bool
-	met     atomic.Pointer[Metrics]
+	pending []sideEntry
+	ownLive map[int32]string // id → path of this owner's segments
+
+	// Reader state for everyone else's segments.
+	rmu     sync.Mutex
+	foreign map[string]*foreignSeg // path → tail progress
+
+	dropped  atomic.Int64
+	replayed atomic.Int64
+}
+
+// foreignSeg tracks how far into another owner's segment we have indexed.
+type foreignSeg struct {
+	id       int32
+	consumed int64 // bytes indexed (complete lines only)
 }
 
 // SetMetrics attaches (or, with nil, detaches) observability series. Safe to
@@ -60,15 +82,16 @@ func (s *Shared[R]) SetMetrics(m *Metrics) {
 // OpenShared opens (creating if needed) a shared store rooted at dir, writing
 // as owner. The owner names this writer's lease: it must be unique among live
 // processes sharing the directory (hostname-pid style) and path-safe
-// (letters, digits, '.', '_', '-'). Opening replays every segment in the
-// directory — this owner's previous runs and every other owner's — into the
-// index; fresh writes always start a new segment.
+// (letters, digits, '.', '_', '-'). Opening indexes every segment in the
+// directory — this owner's previous runs replay concurrently (sidecar-warm
+// when possible, self-healing when not), other owners' tails start from their
+// sidecars' covered prefix; fresh writes always start a new segment.
 //
 // A directory may be used by Disk and Shared stores at different times (both
 // speak the same JSON-lines record format and Disk replays owner-named
 // segments), but not concurrently: Disk's lock claims the whole directory,
 // Shared's only its owner lease.
-func OpenShared[R any](dir, owner string) (*Shared[R], error) {
+func OpenShared[R any](dir, owner string, opts ...Option) (*Shared[R], error) {
 	if err := validOwner(owner); err != nil {
 		return nil, err
 	}
@@ -89,35 +112,54 @@ func OpenShared[R any](dir, owner string) (*Shared[R], error) {
 		owner:        owner,
 		prefix:       "seg-" + owner + "-",
 		lock:         lock,
-		idx:          map[string]R{},
-		offsets:      map[string]int64{},
+		cfg:          buildConfig(opts),
+		tab:          &segTable{},
+		ownLive:      map[int32]string{},
+		foreign:      map[string]*foreignSeg{},
 	}
+	s.met.Store(s.cfg.metrics)
+	s.idx = newIndex[R](s.cfg.shards, s.cfg.cacheEntries, s.cfg.legacy, &s.met)
 	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
 	if err != nil {
 		lock.Close()
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	sort.Strings(segs)
+	var ownPaths []string
+	var ownIDs []int32
+	var foreignPaths []string
 	for _, path := range segs {
-		base := filepath.Base(path)
-		if n, ok := segSeqOf(base, s.prefix); ok {
+		if n, ok := segSeqOf(filepath.Base(path), s.prefix); ok {
 			// Our own lease from a previous run: static now (we always open a
 			// fresh segment), so replay fully and resume numbering after it.
-			if err := s.replayOwn(path); err != nil {
-				lock.Close()
-				return nil, err
-			}
+			id := s.tab.add(path)
+			s.ownLive[id] = path
+			ownPaths = append(ownPaths, path)
+			ownIDs = append(ownIDs, id)
 			if n > s.segSeq {
 				s.segSeq = n
 			}
 			continue
 		}
-		// Foreign (another owner's, or a plain Disk segment): tail it.
+		foreignPaths = append(foreignPaths, path)
+	}
+	if err := replayAll(s.idx, s.tab, ownPaths, ownIDs, replayOpts{
+		selfHeal: true, tornIsDropped: true,
+		dropped: &s.dropped, replayed: &s.replayed, met: &s.met,
+	}); err != nil {
+		lock.Close()
+		return nil, err
+	}
+	// Foreign (another owner's, or a plain Disk segment): tail it.
+	s.rmu.Lock()
+	for _, path := range foreignPaths {
 		if _, err := s.tailLocked(path); err != nil {
+			s.rmu.Unlock()
 			lock.Close()
 			return nil, err
 		}
 	}
+	s.rmu.Unlock()
 	return s, nil
 }
 
@@ -160,78 +202,59 @@ func segSeqOf(base, prefix string) (int, bool) {
 	return n, true
 }
 
-// replayOwn loads one of this owner's closed segments (trusted complete:
-// nobody else writes our lease, and we are not mid-write at open time).
-func (s *Shared[R]) replayOwn(path string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 64<<10), 16<<20)
-	for sc.Scan() {
-		s.apply(sc.Bytes())
-	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("store: reading %s: %w", path, err)
-	}
-	return nil
-}
-
-// apply indexes one log line, counting unparsable ones.
-func (s *Shared[R]) apply(line []byte) {
-	if len(bytes.TrimSpace(line)) == 0 {
-		return
-	}
-	var rec record
-	var v R
-	if json.Unmarshal(line, &rec) != nil || rec.Key == "" || json.Unmarshal(rec.Val, &v) != nil {
-		s.dropped++
-		return
-	}
-	s.idx[rec.Key] = v
-}
-
-// tailLocked reads a foreign segment from its consumed offset, applying only
-// complete (newline-terminated) lines; a partial tail stays unconsumed for
-// the next pass. Reports how many records were applied. Callers hold s.mu.
+// tailLocked indexes a foreign segment from its consumed offset, taking the
+// segment owner's sidecar as a warm start on first contact and then scanning
+// only complete (newline-terminated) lines; a partial tail stays unconsumed
+// for the next pass. Reports how many records were indexed. Callers hold
+// s.rmu.
 func (s *Shared[R]) tailLocked(path string) (int, error) {
+	fs := s.foreign[path]
+	applied := 0
+	if fs == nil {
+		fs = &foreignSeg{id: s.tab.add(path)}
+		s.foreign[path] = fs
+		if st, err := os.Stat(path); err == nil && st.Size() <= maxSegmentOff {
+			if entries, dropped, covered, ok := loadSidecar(path, st.Size()); ok {
+				for _, e := range entries {
+					s.idx.setIfNewer(e.Key, ref{off: e.Off, llen: e.Len, seg: fs.id}, nil)
+				}
+				s.dropped.Add(int64(dropped))
+				fs.consumed = covered
+				applied = len(entries)
+				s.met.Load().sidecarLoad()
+			}
+		}
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return 0, nil // raced a cleanup; forget it
+			return applied, nil // raced a cleanup; forget it
 		}
-		return 0, fmt.Errorf("store: %w", err)
+		return applied, fmt.Errorf("store: %w", err)
 	}
 	defer f.Close()
-	off := s.offsets[path]
-	if _, err := f.Seek(off, io.SeekStart); err != nil {
-		return 0, fmt.Errorf("store: %w", err)
+	if _, err := f.Seek(fs.consumed, 0); err != nil {
+		return applied, fmt.Errorf("store: %w", err)
 	}
-	buf, err := io.ReadAll(f)
+	res, err := scanSegment(f, fs.consumed)
 	if err != nil {
-		return 0, fmt.Errorf("store: reading %s: %w", path, err)
+		return applied, fmt.Errorf("store: reading %s: %w", path, err)
 	}
-	last := bytes.LastIndexByte(buf, '\n')
-	if last < 0 {
-		return 0, nil // no complete line appended yet
+	for _, e := range res.entries {
+		s.idx.setIfNewer(e.Key, ref{off: e.Off, llen: e.Len, seg: fs.id}, nil)
 	}
-	n := 0
-	for _, line := range bytes.Split(buf[:last], []byte{'\n'}) {
-		s.apply(line)
-		n++
-	}
-	s.offsets[path] = off + int64(last) + 1
-	return n, nil
+	s.dropped.Add(int64(res.dropped))
+	s.replayed.Add(int64(res.parsed))
+	fs.consumed += res.consumed
+	return applied + len(res.entries), nil
 }
 
 // Refresh scans the directory for bytes other owners appended since the last
 // look and indexes them. It reports how many records were applied. Get calls
 // it automatically on a miss; call it directly to pre-warm before a batch.
 func (s *Shared[R]) Refresh() (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.rmu.Lock()
+	defer s.rmu.Unlock()
 	return s.refreshLocked()
 }
 
@@ -261,16 +284,13 @@ func (s *Shared[R]) refreshLocked() (int, error) {
 func (s *Shared[R]) Get(key string) (R, bool) {
 	mt := s.met.Load()
 	t0 := mt.start()
-	s.mu.Lock()
-	v, ok := s.idx[key]
+	v, ok := getLazy(s.idx, s.tab, key, &s.met)
 	if !ok {
-		s.refreshLocked() // best-effort: a read error just means a miss
-		v, ok = s.idx[key]
+		s.Refresh() // best-effort: a read error just means a miss
+		v, ok = getLazy(s.idx, s.tab, key, &s.met)
 	}
-	n := len(s.idx)
-	s.mu.Unlock()
 	mt.lookup(t0, ok)
-	mt.records(n)
+	mt.records(int(s.idx.count.Load()))
 	return v, ok
 }
 
@@ -282,43 +302,44 @@ func (s *Shared[R]) Put(key string, v R) error {
 	if key == "" {
 		return fmt.Errorf("store: empty key")
 	}
-	val, err := json.Marshal(v)
+	line, err := encodeRecord(key, v)
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return err
 	}
-	line, err := json.Marshal(record{Key: key, Val: val})
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	line = append(line, '\n')
 	mt := s.met.Load()
 	t0 := mt.start()
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.wmu.Lock()
 	if s.closed {
+		s.wmu.Unlock()
 		return fmt.Errorf("store: closed")
 	}
-	if s.seg == nil || s.segSize >= s.SegmentBytes || s.torn {
+	if s.seg == nil || s.segSize >= s.SegmentBytes || s.torn ||
+		s.segSize+int64(len(line)) > maxSegmentOff {
 		if err := s.rotateLocked(); err != nil {
+			s.wmu.Unlock()
 			return err
 		}
 	}
 	if _, err := s.seg.Write(line); err != nil {
 		s.torn = true
+		s.wmu.Unlock()
 		return fmt.Errorf("store: %w", err)
 	}
+	rf := ref{off: uint32(s.segSize), llen: uint32(len(line) - 1), seg: s.segID}
+	s.pending = append(s.pending, sideEntry{Off: rf.off, Len: rf.llen, Key: key})
 	s.segSize += int64(len(line))
-	s.idx[key] = v
-	mt.appended(t0, len(s.idx))
+	s.wmu.Unlock()
+	s.idx.setIfNewer(key, rf, &v)
+	mt.appended(t0, int(s.idx.count.Load()))
 	return nil
 }
 
+// rotateLocked seals the active segment (sidecar + close, so other owners
+// and future opens get the warm path) and opens the next one. Callers hold
+// s.wmu.
 func (s *Shared[R]) rotateLocked() error {
-	if s.seg != nil {
-		if err := s.seg.Close(); err != nil {
-			return fmt.Errorf("store: %w", err)
-		}
-		s.seg = nil
+	if err := s.sealLocked(); err != nil {
+		return err
 	}
 	s.torn = false
 	s.segSeq++
@@ -327,37 +348,47 @@ func (s *Shared[R]) rotateLocked() error {
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	s.seg, s.segSize = f, 0
+	s.seg, s.segPath, s.segSize, s.pending = f, path, 0, nil
+	s.segID = s.tab.add(path)
+	s.ownLive[s.segID] = path
 	s.met.Load().rotated()
+	return nil
+}
+
+// sealLocked closes the active segment after writing its sidecar (best
+// effort — the sidecar is a cache). Callers hold s.wmu.
+func (s *Shared[R]) sealLocked() error {
+	if s.seg == nil {
+		return nil
+	}
+	if writeSidecar(s.segPath, s.segSize, 0, s.pending) == nil {
+		s.met.Load().sidecarRebuild()
+	}
+	if err := s.seg.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.seg, s.pending = nil, nil
 	return nil
 }
 
 // Keys returns every indexed key, sorted. Call Refresh first for a view that
 // includes other owners' latest writes.
-func (s *Shared[R]) Keys() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	keys := make([]string, 0, len(s.idx))
-	for k := range s.idx {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
-}
+func (s *Shared[R]) Keys() []string { return s.idx.keys() }
 
 // Len returns the number of indexed keys (see Keys about staleness).
-func (s *Shared[R]) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.idx)
-}
+// Allocation-free: a single atomic load.
+func (s *Shared[R]) Len() int { return int(s.idx.count.Load()) }
+
+// Legacy returns how many indexed keys the configured WithLegacyKey
+// predicate classifies as legacy. Zero without a predicate.
+func (s *Shared[R]) Legacy() int { return int(s.idx.legacy.Load()) }
 
 // Dropped returns how many unparsable log lines were skipped so far.
-func (s *Shared[R]) Dropped() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.dropped
-}
+func (s *Shared[R]) Dropped() int { return int(s.dropped.Load()) }
+
+// Replayed returns how many record lines were JSON-parsed while opening or
+// refreshing the store (sidecar-covered bytes cost zero parses).
+func (s *Shared[R]) Replayed() int { return int(s.replayed.Load()) }
 
 // Dir returns the directory backing the store; Owner this writer's lease.
 func (s *Shared[R]) Dir() string   { return s.dir }
@@ -365,8 +396,8 @@ func (s *Shared[R]) Owner() string { return s.owner }
 
 // Sync forces the active segment to stable storage.
 func (s *Shared[R]) Sync() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	if s.seg == nil {
 		return nil
 	}
@@ -376,11 +407,12 @@ func (s *Shared[R]) Sync() error {
 	return nil
 }
 
-// Close syncs and closes the active segment and releases the owner lease.
-// The index stays readable; Put fails after Close.
+// Close seals the active segment (sidecar included), closes every read
+// handle and releases the owner lease. The index stays readable; Put fails
+// after Close.
 func (s *Shared[R]) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
 	if s.closed {
 		return nil
 	}
@@ -388,11 +420,11 @@ func (s *Shared[R]) Close() error {
 	var err error
 	if s.seg != nil {
 		err = s.seg.Sync()
-		if cerr := s.seg.Close(); err == nil {
-			err = cerr
+		if serr := s.sealLocked(); err == nil {
+			err = serr
 		}
-		s.seg = nil
 	}
+	s.tab.closeAll()
 	if s.lock != nil {
 		if cerr := s.lock.Close(); err == nil {
 			err = cerr

@@ -1,0 +1,181 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// A sidecar (seg-N.idx next to seg-N.jsonl) is the warm-open fast path: the
+// segment's record index — (offset, length, key) per valid line — written
+// once when the segment is sealed, so reopening a store reads offsets
+// instead of re-parsing data. Sidecars are pure cache: they are written
+// atomically (temp file + rename), carry a checksum over their entry bytes,
+// and any mismatch — torn write, bit flip, a segment that shrank — falls
+// back to a full replay of the segment. A sidecar whose recorded size is
+// *smaller* than the segment is a valid prefix (the segment grew after
+// sealing, e.g. a crashed writer's torn tail or another Shared owner still
+// appending): its entries are used and only the remainder is scanned.
+//
+// Format, all line-oriented:
+//
+//	{"v":1,"size":<bytes covered>,"records":<n>,"dropped":<n>,"sum":"<fnv64a hex of entry bytes>"}
+//	<off> <len> <quoted key>
+//	...
+const sidecarVersion = 1
+
+// sideEntry is one record's index line.
+type sideEntry struct {
+	Off uint32
+	Len uint32
+	Key string
+}
+
+type sidecarHeader struct {
+	V       int    `json:"v"`
+	Size    int64  `json:"size"`
+	Records int    `json:"records"`
+	Dropped int    `json:"dropped"`
+	Sum     string `json:"sum"`
+}
+
+// sidecarPath maps seg-X.jsonl to seg-X.idx.
+func sidecarPath(segPath string) string {
+	return strings.TrimSuffix(segPath, ".jsonl") + ".idx"
+}
+
+// writeSidecar seals a segment's index to disk atomically. Best-effort by
+// contract: the caller treats an error as "no sidecar" (the next open
+// replays and rewrites it).
+func writeSidecar(segPath string, size int64, dropped int, entries []sideEntry) error {
+	var body bytes.Buffer
+	for _, e := range entries {
+		body.WriteString(strconv.FormatUint(uint64(e.Off), 10))
+		body.WriteByte(' ')
+		body.WriteString(strconv.FormatUint(uint64(e.Len), 10))
+		body.WriteByte(' ')
+		body.WriteString(strconv.Quote(e.Key))
+		body.WriteByte('\n')
+	}
+	hdr, err := json.Marshal(sidecarHeader{
+		V: sidecarVersion, Size: size, Records: len(entries), Dropped: dropped,
+		Sum: fmt.Sprintf("%016x", fnvSum(body.Bytes())),
+	})
+	if err != nil {
+		return err
+	}
+	path := sidecarPath(segPath)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err = f.Write(append(hdr, '\n')); err == nil {
+		_, err = f.Write(body.Bytes())
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadSidecar reads and verifies a segment's sidecar against the segment's
+// current size. ok is false — full replay territory — when the sidecar is
+// missing, torn, checksum-damaged, structurally invalid, or claims to cover
+// more bytes than the segment holds (a stale index must never serve
+// offsets into data that is gone).
+func loadSidecar(segPath string, segSize int64) (entries []sideEntry, dropped int, covered int64, ok bool) {
+	raw, err := os.ReadFile(sidecarPath(segPath))
+	if err != nil {
+		return nil, 0, 0, false
+	}
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		return nil, 0, 0, false
+	}
+	var hdr sidecarHeader
+	if json.Unmarshal(raw[:nl], &hdr) != nil || hdr.V != sidecarVersion ||
+		hdr.Size < 0 || hdr.Size > segSize || hdr.Records < 0 || hdr.Dropped < 0 {
+		return nil, 0, 0, false
+	}
+	body := raw[nl+1:]
+	if fmt.Sprintf("%016x", fnvSum(body)) != hdr.Sum {
+		return nil, 0, 0, false
+	}
+	entries = make([]sideEntry, 0, hdr.Records)
+	prevEnd := int64(0)
+	for len(body) > 0 {
+		line := body
+		if i := bytes.IndexByte(body, '\n'); i >= 0 {
+			line, body = body[:i], body[i+1:]
+		} else {
+			body = nil
+		}
+		e, perr := parseSideEntry(string(line))
+		if perr != nil {
+			return nil, 0, 0, false
+		}
+		// Entries must march forward and stay inside the covered bytes
+		// (line plus trailing newline); anything else means the sidecar
+		// does not describe this segment.
+		if int64(e.Off) < prevEnd || int64(e.Off)+int64(e.Len)+1 > hdr.Size {
+			return nil, 0, 0, false
+		}
+		prevEnd = int64(e.Off) + int64(e.Len) + 1 // +1 for the newline
+		entries = append(entries, e)
+	}
+	if len(entries) != hdr.Records {
+		return nil, 0, 0, false
+	}
+	return entries, hdr.Dropped, hdr.Size, true
+}
+
+func parseSideEntry(line string) (sideEntry, error) {
+	rest := line
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return sideEntry{}, fmt.Errorf("store: sidecar entry %q", line)
+	}
+	off, err := strconv.ParseUint(rest[:sp], 10, 32)
+	if err != nil {
+		return sideEntry{}, err
+	}
+	rest = rest[sp+1:]
+	sp = strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return sideEntry{}, fmt.Errorf("store: sidecar entry %q", line)
+	}
+	ln, err := strconv.ParseUint(rest[:sp], 10, 32)
+	if err != nil {
+		return sideEntry{}, err
+	}
+	key, err := strconv.Unquote(rest[sp+1:])
+	if err != nil || key == "" {
+		return sideEntry{}, fmt.Errorf("store: sidecar entry %q", line)
+	}
+	return sideEntry{Off: uint32(off), Len: uint32(ln), Key: key}, nil
+}
+
+// fnvSum is FNV-1a over a byte slice (sidecar checksums).
+func fnvSum(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
