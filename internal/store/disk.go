@@ -320,8 +320,13 @@ func (d *Disk[R]) Put(key string, v R) error {
 	rf := ref{off: uint32(d.segSize), llen: uint32(len(line) - 1), seg: d.segID}
 	d.pending = append(d.pending, sideEntry{Off: rf.off, Len: rf.llen, Key: key})
 	d.segSize += int64(len(line))
-	d.wmu.Unlock()
+	// Index before releasing wmu: Compact snapshots the index under wmu and
+	// deletes the superseded segment files, so a Put that has written its
+	// bytes must be visible to that snapshot or the acknowledged write is
+	// lost with its segment. setIfNewer only takes a per-shard lock (which
+	// never waits on wmu), so this cannot deadlock.
 	d.idx.setIfNewer(key, rf, &v)
+	d.wmu.Unlock()
 	mt.appended(t0, int(d.idx.count.Load()))
 	return nil
 }

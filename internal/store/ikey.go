@@ -52,8 +52,13 @@ func makeIkey(key string) (ikey, bool) {
 }
 
 // splitFingerprint parses "v<N>:<32 hex>" into (version, 16 raw bytes).
-// Anything else — including uppercase hex or versions above 255 — reports
-// false and takes the raw/overflow path.
+// Anything else — including uppercase hex, versions above 255, or a
+// non-canonical leading-zero version ("v05:") — reports false and takes the
+// raw/overflow path. The canonicality requirement matters for correctness,
+// not just compactness: the inline encoding keeps only the numeric version,
+// and ikey.String() reconstructs the canonical spelling, so admitting
+// "v05:X" would make it alias "v5:X" in slot probes and strand entries on
+// rehash.
 func splitFingerprint(key string) (byte, []byte, bool) {
 	if len(key) < 3+fingerprintHexLen || key[0] != 'v' {
 		return 0, nil, false
@@ -68,6 +73,9 @@ func splitFingerprint(key string) (byte, []byte, bool) {
 		v = v*10 + int(c-'0')
 	}
 	if i == 1 || v > 255 || i >= len(key) || len(key)-i-1 != fingerprintHexLen {
+		return 0, nil, false
+	}
+	if key[1] == '0' && i > 2 { // leading zero: "v05" is not canonical "v5"
 		return 0, nil, false
 	}
 	hexPart := key[i+1:]

@@ -37,7 +37,7 @@ type islot struct {
 // decoded values fronting the disk.
 type indexShard[R any] struct {
 	mu       sync.Mutex
-	slots    []islot // len is a power of two; nil until first insert
+	slots    []islot // grown 1.5×, probed modulo len (NOT a power of two); nil until first insert
 	used     int
 	overflow map[string]ref // nil until a key exceeds the inline form
 	lru      *lruCache[R]

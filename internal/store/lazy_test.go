@@ -23,6 +23,7 @@ func isLegacyTest(k string) bool { return strings.HasPrefix(k, "v1:") }
 func TestIkeyRoundTrip(t *testing.T) {
 	cases := []string{
 		"v3:0123456789abcdef0123456789abcdef",             // fingerprint
+		"v0:0123456789abcdef0123456789abcdef",             // version 0 is canonical
 		"v255:" + strings.Repeat("ab", 16),                // max version
 		"k", "short-key", strings.Repeat("x", ikeyInline), // raw inline
 	}
@@ -38,6 +39,10 @@ func TestIkeyRoundTrip(t *testing.T) {
 	for _, key := range []string{
 		strings.Repeat("x", ikeyInline+1),     // too long
 		"v3:0123456789ABCDEF0123456789ABCDEF", // uppercase hex is not a fingerprint, and 35 > inline
+		// Leading-zero versions are distinct keys that would reconstruct to
+		// the canonical spelling — inlining them would alias "v5:X"/"v0:X".
+		"v05:0123456789abcdef0123456789abcdef",
+		"v00:0123456789abcdef0123456789abcdef",
 		"",
 	} {
 		if _, ok := makeIkey(key); ok {
@@ -57,6 +62,34 @@ func TestIkeyRoundTrip(t *testing.T) {
 		if ok && ik.String() != key {
 			t.Fatalf("round trip %q -> %q", key, ik.String())
 		}
+	}
+}
+
+// TestNonCanonicalVersionKeysStayDistinct pins that "v05:X" and "v5:X" are
+// different keys end to end: the non-canonical spelling must not alias the
+// canonical one through the inline-ikey encoding.
+func TestNonCanonicalVersionKeysStayDistinct(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk[payload](dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	hex := "0123456789abcdef0123456789abcdef"
+	if err := d.Put("v5:"+hex, payload{Ranks: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("v05:"+hex, payload{Ranks: 105}); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := d.Get("v5:" + hex); !ok || got.Ranks != 5 {
+		t.Fatalf("v5: got %+v ok=%v", got, ok)
+	}
+	if got, ok := d.Get("v05:" + hex); !ok || got.Ranks != 105 {
+		t.Fatalf("v05: got %+v ok=%v", got, ok)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("len = %d, want 2 distinct keys", d.Len())
 	}
 }
 
@@ -654,6 +687,73 @@ func TestStoreStressConcurrent(t *testing.T) {
 	for i := 0; i < keys; i++ {
 		if got, ok := d2.Get(fpKey(i)); !ok || got.Ranks != i {
 			t.Fatalf("key %d after stress+reopen: got %+v ok=%v", i, got, ok)
+		}
+	}
+}
+
+// TestCompactNeverLosesAcknowledgedPut pins the Put/Compact publication
+// order: a Put that has returned success must be visible to a concurrent
+// Compact's index snapshot, or compaction deletes the only segment holding
+// it. Unique keys (never re-Put) make a lost write impossible to mask.
+func TestCompactNeverLosesAcknowledgedPut(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk[payload](dir, WithCache(32), WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SegmentBytes = 2 << 10
+	const writers, perWriter = 4, 150
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	compactorDone := make(chan struct{})
+	go func() {
+		defer close(compactorDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := d.Compact(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := d.Put(fpKey(w*perWriter+i), payload{Ranks: w*perWriter + i}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-compactorDone
+	if t.Failed() {
+		return
+	}
+	for i := 0; i < writers*perWriter; i++ {
+		if got, ok := d.Get(fpKey(i)); !ok || got.Ranks != i {
+			t.Fatalf("acknowledged key %d lost to compaction: got %+v ok=%v", i, got, ok)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDisk[payload](dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	for i := 0; i < writers*perWriter; i++ {
+		if got, ok := d2.Get(fpKey(i)); !ok || got.Ranks != i {
+			t.Fatalf("acknowledged key %d missing after reopen: got %+v ok=%v", i, got, ok)
 		}
 	}
 }

@@ -266,7 +266,11 @@ func (s *Shared[R]) refreshLocked() (int, error) {
 	sort.Strings(segs)
 	total := 0
 	for _, path := range segs {
-		if strings.HasPrefix(filepath.Base(path), s.prefix) {
+		// Skip only segments that parse as our own lease — the same rule
+		// OpenShared partitions by. A bare prefix check would also skip a
+		// dash-prefixed sibling's segments (owner "w1" vs "w1-2"), leaving
+		// that owner's records permanently untailed.
+		if _, ok := segSeqOf(filepath.Base(path), s.prefix); ok {
 			continue // our lease: indexed at write time
 		}
 		n, err := s.tailLocked(path)
@@ -328,8 +332,10 @@ func (s *Shared[R]) Put(key string, v R) error {
 	rf := ref{off: uint32(s.segSize), llen: uint32(len(line) - 1), seg: s.segID}
 	s.pending = append(s.pending, sideEntry{Off: rf.off, Len: rf.llen, Key: key})
 	s.segSize += int64(len(line))
-	s.wmu.Unlock()
+	// Index before releasing wmu — Compact snapshots under wmu and deletes
+	// old segments; see Disk.Put.
 	s.idx.setIfNewer(key, rf, &v)
+	s.wmu.Unlock()
 	mt.appended(t0, int(s.idx.count.Load()))
 	return nil
 }

@@ -43,6 +43,39 @@ func TestSharedCrossOwnerVisibility(t *testing.T) {
 	}
 }
 
+// TestSharedRefreshDashPrefixOwners pins the own-vs-foreign partition rule
+// on Refresh: owner "w1" must keep tailing owner "w1-2"'s segments even
+// though their names start with w1's "seg-w1-" prefix. A loose prefix check
+// would classify them as w1's own and never tail bytes appended after open.
+func TestSharedRefreshDashPrefixOwners(t *testing.T) {
+	dir := t.TempDir()
+	short, err := OpenShared[payload](dir, "w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer short.Close()
+	long, err := OpenShared[payload](dir, "w1-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer long.Close()
+
+	// Appended after short opened, so only Refresh can surface it.
+	if err := long.Put("k-long", pay(42)); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := short.Get("k-long"); !ok || v != pay(42) {
+		t.Fatalf("w1 must tail w1-2's segments on refresh: got %v, %v", v, ok)
+	}
+	// And the other direction: "w1"'s segments are plainly foreign to "w1-2".
+	if err := short.Put("k-short", pay(7)); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := long.Get("k-short"); !ok || v != pay(7) {
+		t.Fatalf("w1-2 must tail w1's segments: got %v, %v", v, ok)
+	}
+}
+
 func TestSharedOwnerLeaseExclusive(t *testing.T) {
 	dir := t.TempDir()
 	a, err := OpenShared[payload](dir, "w1")
