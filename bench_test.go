@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/scalefold"
 	"repro/internal/scenario"
+	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/workload"
 )
@@ -600,4 +602,57 @@ func BenchmarkSimulatePerturbed(b *testing.B) {
 			b.ReportMetric(goodput, "goodput")
 		})
 	}
+}
+
+// ---------- Adaptive search ----------
+
+// BenchmarkSearchCliff prices the adaptive search driver against the
+// EXPERIMENTS.md resilience grid: bisecting the failure-rate axis at
+// ranks=1024/DAP-8 (24-step cells, 60 s restart) must localize the goodput
+// cliff to 0.1 decades using a fraction of the exact simulations the
+// equivalent grid — one cell per tolerance step across the 4-decade span,
+// plus the endpoint — would spend. Reported metrics: total probes, the
+// analytic/exact split (auto mode explores with the closed-form estimator
+// and escalates only near the cliff), the grid size it replaces, and the
+// resulting probe savings. CI uploads the run as BENCH_search.json.
+func BenchmarkSearchCliff(b *testing.B) {
+	const gridCells = 41 // ceil(4 decades / 0.1 tolerance) + endpoint
+	spec := func(st store.Store[cluster.Result]) scalefold.SearchSpec {
+		return scalefold.SearchSpec{
+			Objective:  "maximize-goodput",
+			Platform:   "H100",
+			Ranks:      []int{1024},
+			DAPs:       []int{8},
+			FailLo:     1e-6,
+			FailHi:     1e-2,
+			Tolerance:  0.1,
+			Budget:     24,
+			Steps:      24,
+			Mode:       scenario.ModeAuto,
+			SimWorkers: runtime.GOMAXPROCS(0),
+			Store:      st,
+			Cache:      sweep.NewCache[cluster.Result](),
+		}
+	}
+	var f scalefold.Frontier
+	var exact int64
+	for i := 0; i < b.N; i++ {
+		// Cold store and memo every iteration: the benchmark prices
+		// discovery, not replay.
+		s := spec(store.NewMem[cluster.Result]())
+		sims0 := scalefold.Simulations()
+		var err error
+		if f, err = s.Run(); err != nil {
+			b.Fatal(err)
+		}
+		exact = scalefold.Simulations() - sims0
+		if f.Cliff == nil || !f.Cliff.Found {
+			b.Fatalf("cliff not found: %+v", f.Cliff)
+		}
+	}
+	b.ReportMetric(float64(f.Used), "probes")
+	b.ReportMetric(float64(exact), "exact-sims")
+	b.ReportMetric(float64(f.Used)-float64(exact), "analytic-probes")
+	b.ReportMetric(gridCells, "grid-cells")
+	b.ReportMetric(100*float64(exact)/gridCells, "exact-vs-grid-%")
 }

@@ -14,6 +14,7 @@
 //	scalefold all      everything above in order
 //	scalefold sweep    parallel scenario sweep over axis flags (see -h)
 //	scalefold resilience  goodput-vs-failure-rate sweep (perturbation layer)
+//	scalefold optimize adaptive search: cliff bisection, knee, Pareto frontier
 //	scalefold serve    long-running sweep server: HTTP job queue + store
 //	scalefold worker   sweep-fabric worker: claim cells from a coordinator
 //	scalefold submit   submit a sweep job to a running server
@@ -78,6 +79,9 @@ func main() {
 		return
 	case "resilience":
 		resilienceCmd(os.Args[2:])
+		return
+	case "optimize":
+		optimizeCmd(os.Args[2:])
 		return
 	case "serve":
 		serveCmd(os.Args[2:])

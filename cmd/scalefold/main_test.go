@@ -67,7 +67,7 @@ func TestDispatchMatchesDocumentation(t *testing.T) {
 			t.Errorf("runner %q missing from docs/cli.md", name)
 		}
 	}
-	for _, name := range []string{"all", "sweep", "resilience", "serve", "worker", "submit", "jobs", "help"} {
+	for _, name := range []string{"all", "sweep", "resilience", "optimize", "serve", "worker", "submit", "jobs", "help"} {
 		if !documented[name] {
 			t.Errorf("subcommand %q missing from docs/cli.md", name)
 		}

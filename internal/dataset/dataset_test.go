@@ -252,8 +252,20 @@ func TestPrepTimeDeterministic(t *testing.T) {
 
 func TestQuantile(t *testing.T) {
 	s := []float64{1, 2, 3, 4, 5}
-	if Quantile(s, 0) != 1 || Quantile(s, 1) != 5 || Quantile(s, 0.5) != 3 {
-		t.Fatal("quantile wrong")
+	// Out-of-range q clamps to the extremes instead of indexing out of
+	// bounds (q=1.5 used to panic; q=-0.1 read a negative index).
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{
+		{-0.1, 1}, {0, 1}, {0.5, 3}, {1, 5}, {1.5, 5},
+	} {
+		if got := Quantile(s, tc.q); got != tc.want {
+			t.Errorf("Quantile(s, %g) = %g; want %g", tc.q, got, tc.want)
+		}
+	}
+	if got := Quantile(s, math.NaN()); got != 1 {
+		t.Errorf("Quantile(s, NaN) = %g; want the minimum", got)
 	}
 	if Quantile(nil, 0.5) != 0 {
 		t.Fatal("empty quantile should be 0")

@@ -119,10 +119,17 @@ func SortedPrepTimes(gen *Generator, m PrepTimeModel, n int, seed int64) []float
 	return out
 }
 
-// Quantile returns the q-quantile (0..1) of an ascending-sorted slice.
+// Quantile returns the q-quantile of an ascending-sorted slice. q is
+// clamped to [0,1] (NaN included), so out-of-range requests return the
+// minimum or maximum instead of indexing out of bounds.
 func Quantile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		return 0
+	}
+	if !(q > 0) { // catches q <= 0 and NaN
+		q = 0
+	} else if q > 1 {
+		q = 1
 	}
 	idx := int(q * float64(len(sorted)-1))
 	return sorted[idx]

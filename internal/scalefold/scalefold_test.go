@@ -1,8 +1,11 @@
 package scalefold
 
 import (
+	"fmt"
 	"math"
 	"testing"
+
+	"repro/internal/dataset"
 )
 
 // skipIfShort skips figure-scale simulations under -short: the race-checked
@@ -267,6 +270,16 @@ func TestPrepTimeCurve(t *testing.T) {
 	}
 	if c[len(c)-1]/c[0] < 100 {
 		t.Fatal("curve must span >= 2 decades (Figure 4)")
+	}
+	// The Quantile out-of-range clamp must not move any in-range quantile:
+	// the Figure 4 summary (dataset.Quantile over the curve) stays
+	// byte-identical to direct indexing, the pre-fix in-range behavior.
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1} {
+		want := fmt.Sprintf("%.6f", c[int(q*float64(len(c)-1))])
+		got := fmt.Sprintf("%.6f", dataset.Quantile(c, q))
+		if got != want {
+			t.Fatalf("q=%g: dataset.Quantile prints %s, direct index prints %s", q, got, want)
+		}
 	}
 }
 

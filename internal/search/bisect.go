@@ -1,0 +1,61 @@
+package search
+
+import "math"
+
+// cliff localizes the goodput cliff on the failure-rate axis at the
+// ladder's largest configuration: geometric bisection of [FailLo, FailHi]
+// down to Tolerance decades around the CliffGoodput crossing. Probes the
+// two endpoints first; when they do not straddle the threshold there is no
+// cliff inside the range and the phase reports Found=false after two
+// probes — adaptive search's whole point is spending nothing where the
+// answer is flat.
+func (d *driver) cliff() (*Cliff, error) {
+	d.phase = "cliff"
+	ranks := d.o.Ranks[len(d.o.Ranks)-1]
+	dap := dapFor(ranks, d.o.DAPs)
+	c := &Cliff{Ranks: ranks, DAP: dap, Threshold: d.o.CliffGoodput}
+
+	lo, hi := d.o.FailLo, d.o.FailHi
+	sLo, err := d.probe(Point{Ranks: ranks, DAP: dap, FailProb: lo})
+	if err != nil {
+		return nil, err
+	}
+	sHi, err := d.probe(Point{Ranks: ranks, DAP: dap, FailProb: hi})
+	if err != nil {
+		finishCliff(c, lo, hi, sLo.Goodput, 0)
+		return c, err
+	}
+	if sLo.Goodput <= d.o.CliffGoodput || sHi.Goodput > d.o.CliffGoodput {
+		// No crossing inside the range: already over the cliff at FailLo,
+		// or still above threshold at FailHi.
+		finishCliff(c, lo, hi, sLo.Goodput, sHi.Goodput)
+		return c, nil
+	}
+	gLo, gHi := sLo.Goodput, sHi.Goodput
+	for math.Log10(hi/lo) > d.o.Tolerance {
+		mid := math.Sqrt(lo * hi)
+		if mid <= lo || mid >= hi {
+			break // float precision exhausted; the bracket cannot narrow
+		}
+		s, err := d.probe(Point{Ranks: ranks, DAP: dap, FailProb: mid})
+		if err != nil {
+			c.Found = true
+			finishCliff(c, lo, hi, gLo, gHi)
+			return c, err
+		}
+		if s.Goodput > d.o.CliffGoodput {
+			lo, gLo = mid, s.Goodput
+		} else {
+			hi, gHi = mid, s.Goodput
+		}
+	}
+	c.Found = true
+	finishCliff(c, lo, hi, gLo, gHi)
+	return c, nil
+}
+
+func finishCliff(c *Cliff, lo, hi, gLo, gHi float64) {
+	c.Lo, c.Hi = lo, hi
+	c.GoodputLo, c.GoodputHi = gLo, gHi
+	c.Mid = math.Sqrt(lo * hi)
+}

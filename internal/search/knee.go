@@ -1,0 +1,74 @@
+package search
+
+import "math"
+
+// knee measures the ranks-scaling curve at failProb (each rung at its
+// largest feasible DAP width) and marks its saturation point: the rung
+// with the maximum perpendicular distance from the chord between the
+// curve's endpoints, computed in (log2 ranks, normalized throughput)
+// space — the standard max-distance-to-chord knee detector. A curve that
+// is still scaling linearly (or has fewer than three rungs) has no knee.
+func (d *driver) knee(failProb float64) (*Knee, error) {
+	d.phase = "knee"
+	k := &Knee{FailProb: failProb}
+	for _, ranks := range d.o.Ranks {
+		dap := dapFor(ranks, d.o.DAPs)
+		s, err := d.probe(Point{Ranks: ranks, DAP: dap, FailProb: failProb})
+		if err != nil {
+			return k, err
+		}
+		thr := 0.0
+		if s.MeanStepS > 0 {
+			thr = float64(ranks) * s.Goodput / s.MeanStepS
+		}
+		k.Curve = append(k.Curve, KneeSample{Ranks: ranks, DAP: dap, Throughput: thr})
+	}
+	if i := kneeIndex(k.Curve); i >= 0 {
+		k.Found = true
+		k.Ranks = k.Curve[i].Ranks
+	}
+	return k, nil
+}
+
+// kneeIndex returns the index of the knee sample, or -1 when the curve has
+// no interior saturation point.
+func kneeIndex(curve []KneeSample) int {
+	n := len(curve)
+	if n < 3 {
+		return -1
+	}
+	// Normalize both axes to [0,1] so the distance is scale-free.
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i, c := range curve {
+		x[i] = math.Log2(float64(c.Ranks))
+		y[i] = c.Throughput
+	}
+	x0, x1 := x[0], x[n-1]
+	yMin, yMax := y[0], y[0]
+	for _, v := range y {
+		yMin = math.Min(yMin, v)
+		yMax = math.Max(yMax, v)
+	}
+	if x1 <= x0 || yMax <= yMin {
+		return -1
+	}
+	bi, bd := -1, 0.0
+	for i := 1; i < n-1; i++ {
+		nx := (x[i] - x0) / (x1 - x0)
+		ny := (y[i] - yMin) / (yMax - yMin)
+		cy := (y[0]-yMin)/(yMax-yMin)*(1-nx) + (y[n-1]-yMin)/(yMax-yMin)*nx
+		// Above-chord distance only: a knee is diminishing returns (the
+		// curve bulging over its chord), not a mid-ladder dip under it.
+		if dist := ny - cy; dist > bd {
+			bi, bd = i, dist
+		}
+	}
+	// Require a meaningful bulge: a near-straight curve is still scaling
+	// and has no saturation point to report.
+	const minBulge = 0.05
+	if bd < minBulge {
+		return -1
+	}
+	return bi
+}

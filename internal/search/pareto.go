@@ -1,0 +1,56 @@
+package search
+
+import "math"
+
+// pareto seeds the (ranks × DAP × failure-rate) candidate set — every
+// feasible ladder combination at the healthy baseline and, when a cliff was
+// localized, at its tolerated edge — then runs one refinement round: for
+// each widely-spaced adjacent pair on the resulting frontier, probe the
+// geometric-mean ranks between them (snapped to the pair's DAP width), so
+// the frontier gains resolution exactly where it is coarsest. Every probe
+// is budget-charged and memoized, so rungs the cliff and knee phases
+// already paid for are free here.
+func (d *driver) pareto(cliffFail float64) error {
+	d.phase = "pareto"
+	fails := []float64{0}
+	if cliffFail > 0 {
+		fails = append(fails, cliffFail)
+	}
+	for _, ranks := range d.o.Ranks {
+		for _, dap := range d.o.DAPs {
+			if ranks%dap != 0 {
+				continue
+			}
+			for _, fp := range fails {
+				if _, err := d.probe(Point{Ranks: ranks, DAP: dap, FailProb: fp}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	d.phase = "refine"
+	front := paretoFront(d.probes)
+	for i := 1; i < len(front); i++ {
+		a, b := front[i-1], front[i]
+		lo, hi := a.Ranks, b.Ranks
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if hi < 2*lo {
+			continue // already dense on the ranks axis
+		}
+		// Probe between the pair at the cheaper point's width and failure
+		// rate; snap the geometric mean down to a feasible multiple.
+		dap := a.DAP
+		mid := int(math.Sqrt(float64(lo) * float64(hi)))
+		mid -= mid % dap
+		if mid <= lo || mid >= hi {
+			continue
+		}
+		if _, err := d.probe(Point{Ranks: mid, DAP: dap, FailProb: a.FailProb}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

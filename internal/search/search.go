@@ -1,0 +1,425 @@
+// Package search is a budgeted adaptive search driver over a scenario
+// space: instead of enumerating a full grid, it spends a probe budget where
+// the answer actually changes — bisection to localize the goodput cliff on
+// the failure-rate axis, knee/saturation detection on the ranks-scaling
+// curve, and Pareto-frontier refinement over (ranks, DAP, perturb rate) —
+// and emits a Frontier report instead of a table.
+//
+// The package is deliberately ignorant of how a probe is satisfied: callers
+// supply a ProbeFunc, and the scalefold layer routes it through the usual
+// fingerprint → memo → store → analytic/exact resolution, so every probe is
+// memoized and deterministic. The driver itself is sequential and
+// deterministic too: the same Options produce the same probe sequence, the
+// same Frontier, byte for byte — resolution sources (analytic, exact,
+// memo-hit) are reported only through the OnProbe hook, never in the
+// Frontier, so a fully-memoized repeat run serializes identically.
+package search
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrStopped is returned by Run when Options.Stop reported true before the
+// search finished; the caller (e.g. a cancelled service job) discards the
+// partial frontier.
+var ErrStopped = errors.New("search: stopped")
+
+// Objective names what the search optimizes for.
+type Objective string
+
+const (
+	// MaxGoodput favors the configuration with the highest goodput
+	// (useful step time over wall-clock time).
+	MaxGoodput Objective = "maximize-goodput"
+	// MinCostStepTime favors the cheapest work: it minimizes
+	// cost × step-time = ranks × mean step seconds (GPU-seconds per
+	// optimizer step, restart and stall overheads included).
+	MinCostStepTime Objective = "minimize-cost-steptime"
+)
+
+// Objectives lists the canonical spellings, in documentation order.
+var Objectives = []Objective{MaxGoodput, MinCostStepTime}
+
+// BadObjectiveError marks an unknown objective spelling; the service maps it
+// (via the spec validation chain) to a typed 400, like an unknown mode.
+type BadObjectiveError struct{ Got string }
+
+func (e *BadObjectiveError) Error() string {
+	return fmt.Sprintf("search: unknown objective %q (want one of %v)", e.Got, Objectives)
+}
+
+// ParseObjective resolves an objective spelling. The empty string selects
+// MaxGoodput, mirroring how an empty mode selects the default resolution.
+func ParseObjective(s string) (Objective, error) {
+	switch Objective(s) {
+	case "":
+		return MaxGoodput, nil
+	case MaxGoodput, MinCostStepTime:
+		return Objective(s), nil
+	}
+	return "", &BadObjectiveError{Got: s}
+}
+
+// Score ranks a sample under the objective; higher is better for every
+// objective (minimization objectives negate).
+func (o Objective) Score(p Point, s Sample) float64 {
+	switch o {
+	case MinCostStepTime:
+		return -float64(p.Ranks) * s.MeanStepS
+	default: // MaxGoodput
+		return s.Goodput
+	}
+}
+
+// Point is one location in the search space: the free axes the driver
+// samples adaptively.
+type Point struct {
+	Ranks    int     `json:"ranks"`
+	DAP      int     `json:"dap"`
+	FailProb float64 `json:"fail_prob"`
+}
+
+// Sample is a probe's measurement at a Point.
+type Sample struct {
+	Goodput   float64 `json:"goodput"`
+	MeanStepS float64 `json:"mean_step_s"`
+	P99StepS  float64 `json:"p99_step_s"`
+}
+
+// ProbeFunc measures one point. The source return names how the probe was
+// satisfied ("analytic", "exact", "memo-hit"); it feeds metrics and the
+// OnProbe hook only — never the Frontier, which must stay byte-identical
+// between a cold run and a fully-memoized repeat.
+type ProbeFunc func(Point) (Sample, string, error)
+
+// Probe is one spent budget unit: a point, its sample, and the phase that
+// requested it. Deliberately source-free (see ProbeFunc).
+type Probe struct {
+	Seq   int    `json:"seq"`
+	Phase string `json:"phase"` // "cliff", "knee", "pareto" or "refine"
+	Point
+	Sample
+	Score float64 `json:"score"`
+}
+
+// Cliff is the localized goodput cliff on the failure-rate axis: the
+// geometric bracket [Lo, Hi] within which goodput crosses the threshold.
+type Cliff struct {
+	Ranks int `json:"ranks"`
+	DAP   int `json:"dap"`
+	// Found reports whether the endpoints straddle the threshold at all;
+	// when false the bracket is just the searched range.
+	Found bool `json:"found"`
+	// Lo is the highest probed failure rate still above the goodput
+	// threshold, Hi the lowest probed rate below it.
+	Lo        float64 `json:"fail_lo"`
+	Hi        float64 `json:"fail_hi"`
+	GoodputLo float64 `json:"goodput_lo"`
+	GoodputHi float64 `json:"goodput_hi"`
+	// Mid is the bracket's geometric midpoint — the single number to quote
+	// as "the cliff".
+	Mid float64 `json:"fail_mid"`
+	// Threshold is the goodput level whose crossing defines the cliff.
+	Threshold float64 `json:"threshold"`
+}
+
+// KneeSample is one rung of the ranks-scaling curve.
+type KneeSample struct {
+	Ranks int `json:"ranks"`
+	DAP   int `json:"dap"`
+	// Throughput is useful work per second: ranks × goodput / mean step
+	// seconds — the quantity whose saturation the knee marks.
+	Throughput float64 `json:"throughput"`
+}
+
+// Knee is the saturation point of the ranks-scaling curve: the rung with
+// the maximum perpendicular distance from the chord between the curve's
+// endpoints (in log2-ranks × normalized-throughput space).
+type Knee struct {
+	Found bool `json:"found"`
+	Ranks int  `json:"ranks,omitempty"`
+	// FailProb is the failure rate the whole curve was measured at.
+	FailProb float64      `json:"fail_prob"`
+	Curve    []KneeSample `json:"curve"`
+}
+
+// ParetoPoint is one non-dominated configuration of the frontier over
+// (cost, goodput): no other probed point is both cheaper and higher-goodput.
+type ParetoPoint struct {
+	Point
+	Goodput   float64 `json:"goodput"`
+	MeanStepS float64 `json:"mean_step_s"`
+	// CostStepTime is ranks × mean step seconds: GPU-seconds per step.
+	CostStepTime float64 `json:"cost_step_time"`
+	Score        float64 `json:"score"`
+}
+
+// Frontier is the search's report: what was found, and every probe that
+// paid for it. Serializing it with encoding/json is the canonical byte
+// format the determinism contract is stated over.
+type Frontier struct {
+	Objective Objective `json:"objective"`
+	Budget    int       `json:"budget"`
+	Used      int       `json:"probes_used"`
+	Exhausted bool      `json:"budget_exhausted,omitempty"`
+	Cliff     *Cliff    `json:"cliff,omitempty"`
+	Knee      *Knee     `json:"knee,omitempty"`
+	// Pareto is the frontier over (cost ↓, goodput ↑), cheapest first.
+	Pareto []ParetoPoint `json:"pareto"`
+	// Best is the highest-scoring probed point under the objective.
+	Best *ParetoPoint `json:"best,omitempty"`
+	// Probes is the full spend log, in probe order.
+	Probes []Probe `json:"probes"`
+}
+
+// Options declares a search.
+type Options struct {
+	Objective Objective
+	// Ranks is the ascending ranks ladder; DAPs the DAP widths considered
+	// (a width applies to a rung only when it divides it).
+	Ranks []int
+	DAPs  []int
+	// FailLo/FailHi bound the failure-rate axis searched for the cliff;
+	// both must be positive (the bisection is geometric).
+	FailLo, FailHi float64
+	// CliffGoodput is the goodput threshold whose crossing defines the
+	// cliff (0 < t < 1).
+	CliffGoodput float64
+	// Tolerance is the bisection stop width in decades of failure rate.
+	Tolerance float64
+	// Budget bounds unique probes; re-probing a point is free.
+	Budget int
+	// Probe measures a point; required by Run.
+	Probe ProbeFunc
+	// OnProbe, when non-nil, observes each unique probe as it settles,
+	// with its resolution source.
+	OnProbe func(Probe, string)
+	// Stop, when non-nil, is polled before every probe; reporting true
+	// aborts the search with ErrStopped.
+	Stop func() bool
+}
+
+// Validate rejects option-level mistakes without probing anything.
+func (o Options) Validate() error {
+	if _, err := ParseObjective(string(o.Objective)); err != nil {
+		return err
+	}
+	if len(o.Ranks) == 0 {
+		return fmt.Errorf("search: ranks ladder is empty")
+	}
+	for i, r := range o.Ranks {
+		if r < 1 {
+			return fmt.Errorf("search: ranks[%d] = %d; want >= 1", i, r)
+		}
+		if i > 0 && r <= o.Ranks[i-1] {
+			return fmt.Errorf("search: ranks ladder must be strictly ascending (got %d after %d)", r, o.Ranks[i-1])
+		}
+	}
+	if len(o.DAPs) == 0 {
+		return fmt.Errorf("search: dap list is empty")
+	}
+	for i, d := range o.DAPs {
+		if d < 1 {
+			return fmt.Errorf("search: dap[%d] = %d; want >= 1", i, d)
+		}
+		if i > 0 && d <= o.DAPs[i-1] {
+			return fmt.Errorf("search: dap list must be strictly ascending (got %d after %d)", d, o.DAPs[i-1])
+		}
+	}
+	for _, r := range o.Ranks {
+		if dapFor(r, o.DAPs) == 0 {
+			return fmt.Errorf("search: no DAP width in %v divides ranks=%d", o.DAPs, r)
+		}
+	}
+	bad := func(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+	if bad(o.FailLo) || bad(o.FailHi) || o.FailLo <= 0 || o.FailHi > 1 || o.FailLo >= o.FailHi {
+		return fmt.Errorf("search: failure-rate range [%g, %g] invalid; want 0 < lo < hi <= 1", o.FailLo, o.FailHi)
+	}
+	if bad(o.CliffGoodput) || o.CliffGoodput <= 0 || o.CliffGoodput >= 1 {
+		return fmt.Errorf("search: cliff goodput threshold %g invalid; want 0 < t < 1", o.CliffGoodput)
+	}
+	if bad(o.Tolerance) || o.Tolerance <= 0 {
+		return fmt.Errorf("search: tolerance %g invalid; want > 0 decades", o.Tolerance)
+	}
+	if o.Budget < 2 {
+		return fmt.Errorf("search: budget %d too small; want >= 2 probes", o.Budget)
+	}
+	return nil
+}
+
+// dapFor returns the largest width in daps dividing ranks (0 when none).
+func dapFor(ranks int, daps []int) int {
+	best := 0
+	for _, d := range daps {
+		if d >= 1 && ranks%d == 0 && d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// errBudget is the internal soft-stop: the phase keeps what it has and the
+// Frontier reports Exhausted.
+var errBudget = errors.New("search: probe budget exhausted")
+
+// driver carries the run state: the probe memo (re-probing a point is free
+// and returns the logged sample), the spend log and the budget.
+type driver struct {
+	o      Options
+	seen   map[Point]Sample
+	probes []Probe
+	used   int
+	phase  string
+}
+
+// probe measures pt (or returns its memoized sample), logging and charging
+// the budget only for first-time points.
+func (d *driver) probe(pt Point) (Sample, error) {
+	if s, ok := d.seen[pt]; ok {
+		return s, nil
+	}
+	if d.o.Stop != nil && d.o.Stop() {
+		return Sample{}, ErrStopped
+	}
+	if d.used >= d.o.Budget {
+		return Sample{}, errBudget
+	}
+	s, src, err := d.o.Probe(pt)
+	if err != nil {
+		return Sample{}, fmt.Errorf("search: probe ranks=%d dap=%d fail=%g: %w", pt.Ranks, pt.DAP, pt.FailProb, err)
+	}
+	d.used++
+	d.seen[pt] = s
+	p := Probe{Seq: len(d.probes), Phase: d.phase, Point: pt, Sample: s, Score: d.o.Objective.Score(pt, s)}
+	d.probes = append(d.probes, p)
+	if d.o.OnProbe != nil {
+		d.o.OnProbe(p, src)
+	}
+	return s, nil
+}
+
+// Run executes the three phases — cliff bisection, knee detection, Pareto
+// refinement — and assembles the Frontier. Budget exhaustion is a soft stop
+// (partial results, Exhausted set); Stop and probe errors abort.
+func Run(o Options) (Frontier, error) {
+	if o.Probe == nil {
+		return Frontier{}, fmt.Errorf("search: Options.Probe is required")
+	}
+	obj, err := ParseObjective(string(o.Objective))
+	if err != nil {
+		return Frontier{}, err
+	}
+	o.Objective = obj
+	if err := o.Validate(); err != nil {
+		return Frontier{}, err
+	}
+	d := &driver{o: o, seen: make(map[Point]Sample)}
+	f := Frontier{Objective: o.Objective, Budget: o.Budget}
+
+	cliff, err := d.cliff()
+	if err != nil && !errors.Is(err, errBudget) {
+		return Frontier{}, err
+	}
+	f.Cliff = cliff
+
+	// Knee and Pareto phases run at the cliff's healthy edge when one was
+	// found — the highest failure rate the flagship configuration still
+	// tolerates — and additionally at the healthy baseline.
+	kneeFail := 0.0
+	if cliff != nil && cliff.Found {
+		kneeFail = cliff.Lo
+	}
+	if err == nil {
+		var knee *Knee
+		knee, err = d.knee(kneeFail)
+		if err != nil && !errors.Is(err, errBudget) {
+			return Frontier{}, err
+		}
+		f.Knee = knee
+	}
+	if err == nil {
+		err = d.pareto(kneeFail)
+		if err != nil && !errors.Is(err, errBudget) {
+			return Frontier{}, err
+		}
+	}
+	f.Exhausted = errors.Is(err, errBudget)
+
+	f.Used = d.used
+	f.Probes = d.probes
+	f.Pareto = paretoFront(d.probes)
+	f.Best = best(d.probes)
+	return f, nil
+}
+
+// best returns the highest-scoring probe (earliest wins ties — probe order
+// is deterministic, so so is the winner).
+func best(probes []Probe) *ParetoPoint {
+	bi := -1
+	for i, p := range probes {
+		if bi < 0 || p.Score > probes[bi].Score {
+			bi = i
+		}
+	}
+	if bi < 0 {
+		return nil
+	}
+	p := probes[bi]
+	return &ParetoPoint{
+		Point: p.Point, Goodput: p.Goodput, MeanStepS: p.MeanStepS,
+		CostStepTime: float64(p.Ranks) * p.MeanStepS, Score: p.Score,
+	}
+}
+
+// paretoFront filters the probe log down to the non-dominated set over
+// (cost minimized, goodput maximized), cheapest first.
+func paretoFront(probes []Probe) []ParetoPoint {
+	// Dedup by point (first probe wins; samples for one point are identical
+	// by the determinism contract anyway).
+	var pts []ParetoPoint
+	seen := make(map[Point]bool, len(probes))
+	for _, p := range probes {
+		if seen[p.Point] {
+			continue
+		}
+		seen[p.Point] = true
+		pts = append(pts, ParetoPoint{
+			Point: p.Point, Goodput: p.Goodput, MeanStepS: p.MeanStepS,
+			CostStepTime: float64(p.Ranks) * p.MeanStepS, Score: p.Score,
+		})
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].CostStepTime != pts[j].CostStepTime {
+			return pts[i].CostStepTime < pts[j].CostStepTime
+		}
+		if pts[i].Goodput != pts[j].Goodput {
+			return pts[i].Goodput > pts[j].Goodput
+		}
+		return lessPoint(pts[i].Point, pts[j].Point)
+	})
+	var front []ParetoPoint
+	bestGoodput := math.Inf(-1)
+	for _, p := range pts {
+		if p.Goodput > bestGoodput {
+			front = append(front, p)
+			bestGoodput = p.Goodput
+		}
+	}
+	if front == nil {
+		front = []ParetoPoint{} // serialize as [], not null
+	}
+	return front
+}
+
+func lessPoint(a, b Point) bool {
+	if a.Ranks != b.Ranks {
+		return a.Ranks < b.Ranks
+	}
+	if a.DAP != b.DAP {
+		return a.DAP < b.DAP
+	}
+	return a.FailProb < b.FailProb
+}

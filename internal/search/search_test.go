@@ -1,0 +1,283 @@
+package search
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// syntheticProbe models a cluster with a goodput cliff at failure rate
+// `cliff` and throughput that saturates past `kneeRanks`: deterministic,
+// instant, and shaped like the real simulator's resilience surface.
+func syntheticProbe(cliff float64, kneeRanks int) ProbeFunc {
+	return func(p Point) (Sample, string, error) {
+		goodput := 1.0
+		if p.FailProb > 0 {
+			// Smooth logistic cliff in log-failure-rate space.
+			goodput = 1 / (1 + math.Pow(p.FailProb/cliff, 2))
+		}
+		// Step time grows with ranks past the knee (communication bound),
+		// mildly improves with DAP.
+		step := 1.0 / (1 + 0.1*float64(p.DAP))
+		if p.Ranks > kneeRanks {
+			step *= 1 + 2*float64(p.Ranks-kneeRanks)/float64(kneeRanks)
+		}
+		return Sample{Goodput: goodput, MeanStepS: step / goodput, P99StepS: step * 1.2}, "exact", nil
+	}
+}
+
+func testOptions(probe ProbeFunc) Options {
+	return Options{
+		Objective:    MaxGoodput,
+		Ranks:        []int{128, 256, 512, 1024},
+		DAPs:         []int{1, 2, 4, 8},
+		FailLo:       1e-6,
+		FailHi:       1e-2,
+		CliffGoodput: 0.5,
+		Tolerance:    0.1,
+		Budget:       64,
+		Probe:        probe,
+	}
+}
+
+func TestCliffBisectionLocalizes(t *testing.T) {
+	const cliff = 1e-4 // logistic midpoint: goodput(cliff) = 0.5
+	o := testOptions(syntheticProbe(cliff, 512))
+	f, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := f.Cliff
+	if c == nil || !c.Found {
+		t.Fatalf("cliff not found: %+v", c)
+	}
+	if c.Lo > cliff || c.Hi < cliff/2 {
+		// The logistic crossing sits a hair below `cliff`; the bracket
+		// must contain it.
+		t.Fatalf("bracket [%g, %g] misses the cliff near %g", c.Lo, c.Hi, cliff)
+	}
+	if w := math.Log10(c.Hi / c.Lo); w > o.Tolerance*1.0001 {
+		t.Fatalf("bracket width %.3f decades exceeds tolerance %g", w, o.Tolerance)
+	}
+	if c.Ranks != 1024 || c.DAP != 8 {
+		t.Fatalf("cliff probed at ranks=%d dap=%d; want the ladder's flagship 1024/8", c.Ranks, c.DAP)
+	}
+	// Bisection beats enumeration: endpoints + ~log2(span/tol) mids, far
+	// under the 41-cell grid an exact 0.1-decade scan would burn.
+	cliffProbes := 0
+	for _, p := range f.Probes {
+		if p.Phase == "cliff" {
+			cliffProbes++
+		}
+	}
+	if cliffProbes > 12 {
+		t.Fatalf("cliff phase spent %d probes; bisection should need ~8", cliffProbes)
+	}
+}
+
+func TestCliffAbsentOutsideRange(t *testing.T) {
+	// Cliff at 10% failure rate — far above FailHi: endpoints cannot
+	// straddle, so the phase must stop after two probes.
+	o := testOptions(syntheticProbe(0.1, 512))
+	f, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Cliff == nil || f.Cliff.Found {
+		t.Fatalf("cliff should not be found inside [%g, %g]: %+v", o.FailLo, o.FailHi, f.Cliff)
+	}
+	cliffProbes := 0
+	for _, p := range f.Probes {
+		if p.Phase == "cliff" {
+			cliffProbes++
+		}
+	}
+	if cliffProbes != 2 {
+		t.Fatalf("flat cliff phase spent %d probes; want exactly the 2 endpoints", cliffProbes)
+	}
+}
+
+func TestKneeDetection(t *testing.T) {
+	f, err := Run(testOptions(syntheticProbe(1e-4, 256)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := f.Knee
+	if k == nil || !k.Found {
+		t.Fatalf("knee not found: %+v", k)
+	}
+	if k.Ranks != 256 {
+		t.Fatalf("knee at ranks=%d; want 256 (the synthetic saturation point)", k.Ranks)
+	}
+	if len(k.Curve) != 4 {
+		t.Fatalf("curve has %d rungs; want the full 4-rung ladder", len(k.Curve))
+	}
+}
+
+func TestKneeAbsentOnLinearCurve(t *testing.T) {
+	// Saturation far past the ladder: throughput scales linearly, no knee.
+	f, err := Run(testOptions(syntheticProbe(1e-4, 1<<20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Knee == nil || f.Knee.Found {
+		t.Fatalf("linear curve must have no knee: %+v", f.Knee)
+	}
+}
+
+func TestParetoFrontierNonDominated(t *testing.T) {
+	f, err := Run(testOptions(syntheticProbe(1e-4, 256)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Pareto) == 0 {
+		t.Fatal("empty Pareto frontier")
+	}
+	for i := 1; i < len(f.Pareto); i++ {
+		a, b := f.Pareto[i-1], f.Pareto[i]
+		if b.CostStepTime <= a.CostStepTime || b.Goodput <= a.Goodput {
+			t.Fatalf("frontier not strictly improving at %d: (%g,%g) -> (%g,%g)",
+				i, a.CostStepTime, a.Goodput, b.CostStepTime, b.Goodput)
+		}
+	}
+	// Every non-frontier probe must be dominated by some frontier point.
+	for _, p := range f.Probes {
+		dominated := false
+		for _, fp := range f.Pareto {
+			if fp.CostStepTime <= float64(p.Ranks)*p.MeanStepS && fp.Goodput >= p.Goodput {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			t.Fatalf("probe %+v is non-dominated but missing from the frontier", p.Point)
+		}
+	}
+	if f.Best == nil {
+		t.Fatal("no best point")
+	}
+}
+
+func TestObjectiveScoring(t *testing.T) {
+	p := Point{Ranks: 512, DAP: 4, FailProb: 0}
+	s := Sample{Goodput: 0.8, MeanStepS: 2}
+	if got := MaxGoodput.Score(p, s); got != 0.8 {
+		t.Fatalf("maximize-goodput score = %g; want 0.8", got)
+	}
+	if got := MinCostStepTime.Score(p, s); got != -1024 {
+		t.Fatalf("minimize-cost-steptime score = %g; want -1024 (negated 512 ranks x 2 s)", got)
+	}
+	for _, bad := range []string{"maximize-flops", "goodput", "min-cost"} {
+		var oe *BadObjectiveError
+		if _, err := ParseObjective(bad); !errors.As(err, &oe) {
+			t.Fatalf("ParseObjective(%q) = %v; want BadObjectiveError", bad, err)
+		}
+	}
+	if obj, err := ParseObjective(""); err != nil || obj != MaxGoodput {
+		t.Fatalf("empty objective = (%v, %v); want the maximize-goodput default", obj, err)
+	}
+}
+
+func TestDeterministicFrontierBytes(t *testing.T) {
+	run := func() []byte {
+		f, err := Run(testOptions(syntheticProbe(1e-4, 256)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatalf("frontier bytes differ between identical runs:\n%s\n%s", a, b)
+	}
+	if strings.Contains(string(a), `"source"`) {
+		t.Fatalf("frontier leaks resolution sources (breaks repeat-run byte identity):\n%s", a)
+	}
+}
+
+func TestBudgetSoftStop(t *testing.T) {
+	o := testOptions(syntheticProbe(1e-4, 256))
+	o.Budget = 5
+	f, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Exhausted {
+		t.Fatal("budget 5 must exhaust before the ladder phases finish")
+	}
+	if f.Used != 5 || len(f.Probes) != 5 {
+		t.Fatalf("used %d probes, logged %d; want exactly the budget 5", f.Used, len(f.Probes))
+	}
+	if len(f.Pareto) == 0 {
+		t.Fatal("exhausted run must still report the frontier over its partial probe set")
+	}
+}
+
+func TestRepeatedPointsAreFree(t *testing.T) {
+	calls := 0
+	inner := syntheticProbe(1e-4, 256)
+	probe := func(p Point) (Sample, string, error) {
+		calls++
+		return inner(p)
+	}
+	f, err := Run(testOptions(probe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != f.Used {
+		t.Fatalf("%d probe calls for %d budget units: duplicate points must not re-probe", calls, f.Used)
+	}
+	seen := map[Point]bool{}
+	for _, p := range f.Probes {
+		if seen[p.Point] {
+			t.Fatalf("point %+v logged twice", p.Point)
+		}
+		seen[p.Point] = true
+	}
+}
+
+func TestStopAborts(t *testing.T) {
+	n := 0
+	o := testOptions(syntheticProbe(1e-4, 256))
+	o.Stop = func() bool { n++; return n > 3 }
+	if _, err := Run(o); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Run = %v; want ErrStopped", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := testOptions(nil)
+	cases := []struct {
+		name string
+		mut  func(*Options)
+		want string
+	}{
+		{"bad objective", func(o *Options) { o.Objective = "maximize-flops" }, "objective"},
+		{"empty ranks", func(o *Options) { o.Ranks = nil }, "ranks"},
+		{"descending ranks", func(o *Options) { o.Ranks = []int{256, 128} }, "ascending"},
+		{"no feasible dap", func(o *Options) { o.Ranks = []int{100}; o.DAPs = []int{8} }, "divides"},
+		{"zero fail lo", func(o *Options) { o.FailLo = 0 }, "failure-rate"},
+		{"inverted fail range", func(o *Options) { o.FailLo = 1e-2; o.FailHi = 1e-6 }, "failure-rate"},
+		{"nan fail", func(o *Options) { o.FailHi = math.NaN() }, "failure-rate"},
+		{"threshold 1", func(o *Options) { o.CliffGoodput = 1 }, "threshold"},
+		{"zero tolerance", func(o *Options) { o.Tolerance = 0 }, "tolerance"},
+		{"budget 1", func(o *Options) { o.Budget = 1 }, "budget"},
+	}
+	for _, tc := range cases {
+		o := base
+		tc.mut(&o)
+		err := o.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %v; want error mentioning %q", tc.name, err, tc.want)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("base options must validate: %v", err)
+	}
+}

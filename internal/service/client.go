@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strings"
 
+	"repro/internal/scalefold"
 	"repro/internal/store"
 )
 
@@ -62,6 +63,21 @@ func (c *Client) Submit(spec JobSpec) (JobStatus, error) {
 		return JobStatus{}, fmt.Errorf("service: %w", err)
 	}
 	resp, err := c.http().Post(c.url("/v1/jobs"), "application/json", bytes.NewReader(body))
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("service: %w", err)
+	}
+	var st JobStatus
+	return st, decode(resp, &st)
+}
+
+// SubmitSearch posts an adaptive-search spec (POST /v1/search) and returns
+// the accepted job's status.
+func (c *Client) SubmitSearch(spec SearchJobSpec) (JobStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("service: %w", err)
+	}
+	resp, err := c.http().Post(c.url("/v1/search"), "application/json", bytes.NewReader(body))
 	if err != nil {
 		return JobStatus{}, fmt.Errorf("service: %w", err)
 	}
@@ -132,7 +148,12 @@ func (c *Client) Trace(id string, w io.Writer) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(resp.Body)
+		body, rerr := io.ReadAll(resp.Body)
+		if rerr != nil {
+			// A truncated error body must not masquerade as an empty one:
+			// surface the read failure alongside the status.
+			return fmt.Errorf("service: HTTP %d: body unreadable: %v", resp.StatusCode, rerr)
+		}
 		var ae apiError
 		if json.Unmarshal(body, &ae) == nil && ae.Error != "" {
 			return fmt.Errorf("service: %s (HTTP %d)", ae.Error, resp.StatusCode)
@@ -197,6 +218,69 @@ func (c *Client) Stream(id string, onRow func(RowEvent) error) (DoneEvent, error
 		return DoneEvent{}, fmt.Errorf("service: %w", err)
 	}
 	return DoneEvent{}, fmt.Errorf("service: stream for %s ended without a done event", id)
+}
+
+// SearchStream follows a search job's NDJSON stream to completion. onProbe
+// (optional) receives each ProbeEvent as it arrives; returning an error
+// aborts the stream. SearchStream returns the FrontierEvent's report (nil if
+// the job ended without one — cancelled or failed) and the terminal
+// DoneEvent.
+func (c *Client) SearchStream(id string, onProbe func(ProbeEvent) error) (*scalefold.Frontier, DoneEvent, error) {
+	resp, err := c.http().Get(c.url("/v1/jobs/" + id + "/stream"))
+	if err != nil {
+		return nil, DoneEvent{}, fmt.Errorf("service: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var st DoneEvent
+		return nil, st, decode(resp, &st) // lifts the error envelope
+	}
+	var frontier *scalefold.Frontier
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var kind struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &kind); err != nil {
+			return frontier, DoneEvent{}, fmt.Errorf("service: bad stream line %q: %w", line, err)
+		}
+		switch kind.Type {
+		case "probe":
+			if onProbe == nil {
+				continue
+			}
+			var ev ProbeEvent
+			if err := json.Unmarshal(line, &ev); err != nil {
+				return frontier, DoneEvent{}, fmt.Errorf("service: bad probe event: %w", err)
+			}
+			if err := onProbe(ev); err != nil {
+				return frontier, DoneEvent{}, err
+			}
+		case "frontier":
+			var ev FrontierEvent
+			if err := json.Unmarshal(line, &ev); err != nil {
+				return frontier, DoneEvent{}, fmt.Errorf("service: bad frontier event: %w", err)
+			}
+			frontier = &ev.Frontier
+		case "done":
+			var ev DoneEvent
+			if err := json.Unmarshal(line, &ev); err != nil {
+				return frontier, DoneEvent{}, fmt.Errorf("service: bad done event: %w", err)
+			}
+			return frontier, ev, nil
+		default:
+			return frontier, DoneEvent{}, fmt.Errorf("service: unknown stream event type %q", kind.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return frontier, DoneEvent{}, fmt.Errorf("service: %w", err)
+	}
+	return frontier, DoneEvent{}, fmt.Errorf("service: stream for %s ended without a done event", id)
 }
 
 // RawStream follows a job's stream and prints one JSON object per line to w

@@ -1,0 +1,58 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestTraceSurfacesBodyReadErrors pins the Client.Trace error path: when a
+// non-200 response's body dies mid-read (Content-Length longer than what the
+// server wrote, a truncated proxy, a dropped connection), the read failure
+// must be surfaced — not swallowed into an empty-body "HTTP 500: " error
+// that hides what actually went wrong.
+func TestTraceSurfacesBodyReadErrors(t *testing.T) {
+	const partial = `{"error": "the real`
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Promise more bytes than we send, then hijack and close so the
+		// client's io.ReadAll fails with an unexpected EOF instead of
+		// seeing a clean (but silently truncated) body.
+		w.Header().Set("Content-Length", strconv.Itoa(len(partial)+512))
+		w.WriteHeader(http.StatusInternalServerError)
+		io.WriteString(w, partial)
+		conn, _, err := http.NewResponseController(w).Hijack()
+		if err != nil {
+			t.Errorf("hijack: %v", err)
+			return
+		}
+		conn.Close()
+	}))
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL}
+	err := c.Trace("job-000001", io.Discard)
+	if err == nil {
+		t.Fatal("Trace must fail on a truncated error body")
+	}
+	if !strings.Contains(err.Error(), "body unreadable") {
+		t.Fatalf("read failure swallowed: %v", err)
+	}
+	if !strings.Contains(err.Error(), "HTTP 500") {
+		t.Fatalf("status lost from the error: %v", err)
+	}
+}
+
+// TestTraceReportsErrorEnvelope covers the healthy non-200 branch around the
+// fix: a complete error body still decodes into the server's envelope.
+func TestTraceReportsErrorEnvelope(t *testing.T) {
+	_, c, stop := newTestServer(t, Config{Workers: 1})
+	defer stop()
+	err := c.Trace("job-999999", io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "unknown job") ||
+		!strings.Contains(err.Error(), "HTTP 404") {
+		t.Fatalf("want the 404 envelope surfaced, got %v", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/search", s.handleSearch)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
@@ -47,19 +48,44 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := s.Submit(spec)
 	if err != nil {
-		code := http.StatusInternalServerError
-		var bad *BadSpecError
-		var full *QueueFullError
-		switch {
-		case errors.As(err, &bad):
-			code = http.StatusBadRequest
-		case errors.As(err, &full):
-			code = http.StatusServiceUnavailable
-		}
-		writeJSON(w, code, apiError{Error: err.Error()})
+		writeSubmitErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, st)
+}
+
+// handleSearch accepts an adaptive-search job: same queue, same status and
+// stream endpoints as sweep jobs, searched instead of enumerated. An invalid
+// spec — unknown objective, mode, platform, infeasible ladder — is 400.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var spec SearchJobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad search spec: " + err.Error()})
+		return
+	}
+	st, err := s.SubmitSearch(spec)
+	if err != nil {
+		writeSubmitErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// writeSubmitErr maps submission failures to their status codes: invalid
+// specs to 400, queue backpressure to 503, anything else to 500.
+func writeSubmitErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var bad *BadSpecError
+	var full *QueueFullError
+	switch {
+	case errors.As(err, &bad):
+		code = http.StatusBadRequest
+	case errors.As(err, &full):
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, apiError{Error: err.Error()})
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

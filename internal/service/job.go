@@ -14,8 +14,12 @@ import (
 // state, and the append-only NDJSON event log that streaming clients replay
 // and follow.
 type job struct {
-	id      string
+	id string
+	// kind discriminates the job's engine: "" / KindSweep runs the sweep
+	// grid from spec; KindSearch runs the adaptive search from search.
+	kind    string
 	spec    JobSpec
+	search  *SearchJobSpec
 	cells   int
 	created time.Time
 
@@ -43,8 +47,11 @@ type job struct {
 	storeErr string
 	rows     int // settled rows streamed so far (executed + skipped)
 	skipped  int
-	events   [][]byte      // marshaled NDJSON lines, append-only
-	notify   chan struct{} // closed and replaced on every append/state change
+	// Search-job progress: probes settled, Pareto-frontier size once done.
+	probes       int
+	frontierSize int
+	events       [][]byte      // marshaled NDJSON lines, append-only
+	notify       chan struct{} // closed and replaced on every append/state change
 }
 
 // wake signals stream followers. Callers hold j.mu.
@@ -167,8 +174,9 @@ func (j *job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return JobStatus{
-		ID: j.id, State: j.state, Spec: j.spec,
+		ID: j.id, State: j.state, Kind: j.kind, Spec: j.spec, Search: j.search,
 		Cells: j.cells, Done: j.rows, Skipped: j.skipped,
+		Probes: j.probes, FrontierSize: j.frontierSize,
 		Simulated:   j.metrics.Simulated.Load(),
 		StoreHits:   j.metrics.StoreHits.Load(),
 		MemoHits:    j.metrics.MemoHits.Load(),

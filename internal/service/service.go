@@ -125,10 +125,19 @@ type svcMetrics struct {
 	exactCells    *obs.Counter
 	escalations   *obs.Counter
 	estimateHist  *obs.Histogram
+	// Adaptive search: settled probes by resolution source, the latest
+	// finished frontier's size, and per-probe wall-clock latency.
+	searchProbes map[string]*obs.Counter
+	frontierSize *obs.Gauge
+	probeHist    *obs.Histogram
 }
 
+// probeSources are the scalefold.SearchSpec.OnProbe resolution sources; all
+// three series are minted at New so they exposit at zero from first scrape.
+var probeSources = []string{"analytic", "exact", "memo-hit"}
+
 func newSvcMetrics(r *obs.Registry) svcMetrics {
-	return svcMetrics{
+	m := svcMetrics{
 		reg:       r,
 		submitted: r.Counter("scalefold_service_jobs_submitted_total", "Jobs accepted by POST /v1/jobs."),
 		queued:    r.Gauge("scalefold_service_jobs_queued", "Jobs waiting for a scheduler slot."),
@@ -141,7 +150,18 @@ func newSvcMetrics(r *obs.Registry) svcMetrics {
 			"Auto-mode cells whose analytic bounds forced exact simulation."),
 		estimateHist: r.Histogram("scalefold_analytic_estimate_seconds",
 			"Latency of one closed-form analytic estimate.", nil),
+		searchProbes: map[string]*obs.Counter{},
+		frontierSize: r.Gauge("scalefold_search_frontier_size",
+			"Pareto-frontier size of the most recently finished search job."),
+		probeHist: r.Histogram("scalefold_search_probe_seconds",
+			"Wall-clock latency of one adaptive-search probe.", nil),
 	}
+	for _, src := range probeSources {
+		m.searchProbes[src] = r.Counter("scalefold_search_probes_total",
+			"Adaptive-search probes settled, by resolution source.",
+			obs.Label{Key: "source", Value: src})
+	}
+	return m
 }
 
 // jobState is the job lifecycle hook: it keeps the queued/running gauges
@@ -260,7 +280,11 @@ func New(cfg Config) (*Server, error) {
 		go func() {
 			defer s.wg.Done()
 			for j := range s.queue {
-				s.runJob(j)
+				if j.kind == KindSearch {
+					s.runSearchJob(j)
+				} else {
+					s.runJob(j)
+				}
 			}
 		}()
 	}
@@ -300,29 +324,38 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// Submit validates and enqueues a job, returning its initial status.
+// Submit validates and enqueues a sweep job, returning its initial status.
 func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	spec = spec.withDefaults()
 	sw := spec.sweepSpec()
 	if err := sw.Validate(); err != nil {
 		return JobStatus{}, &BadSpecError{Err: err}
 	}
+	j := &job{spec: spec, cells: sw.Cells()}
+	st, err := s.enqueue(j)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	s.log.Info("job submitted", "job", j.id, "cells", j.cells)
+	return st, nil
+}
+
+// enqueue assigns the pre-validated job its identity and lifecycle plumbing
+// and places it on the scheduler queue — the shared tail of Submit and
+// SubmitSearch. Callers set kind, spec/search and cells.
+func (s *Server) enqueue(j *job) (JobStatus, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return JobStatus{}, fmt.Errorf("service: server is shutting down")
 	}
 	s.seq++
-	j := &job{
-		id:      fmt.Sprintf("job-%06d", s.seq),
-		spec:    spec,
-		state:   StateQueued,
-		cells:   sw.Cells(),
-		created: time.Now(),
-		notify:  make(chan struct{}),
-		trace:   obs.NewTracer(),
-		onState: s.met.jobState,
-	}
+	j.id = fmt.Sprintf("job-%06d", s.seq)
+	j.state = StateQueued
+	j.created = time.Now()
+	j.notify = make(chan struct{})
+	j.trace = obs.NewTracer()
+	j.onState = s.met.jobState
 	// Count the job queued before it is visible to a scheduler: start() fires
 	// the queued→running transition as soon as a worker dequeues it.
 	s.met.queued.Add(1)
@@ -339,7 +372,6 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	s.pruneLocked()
 	s.mu.Unlock()
 	s.met.submitted.Inc()
-	s.log.Info("job submitted", "job", j.id, "cells", j.cells)
 	return j.status(), nil
 }
 

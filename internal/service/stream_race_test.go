@@ -18,23 +18,38 @@ func TestStreamFollowersRaceCompletionCancelAndPrune(t *testing.T) {
 	defer stop()
 	var wg sync.WaitGroup
 	for round := 0; round < 8; round++ {
-		spec := tinyJob()
-		spec.DAPs = []int{1}
-		spec.Ablations = []string{"none"}
-		spec.Steps = round + 1 // distinct fingerprints: every job really runs
-		st, err := c.Submit(spec)
+		// Alternate sweep and search submissions so both engines finalize,
+		// cancel and stream under the same contention.
+		var st JobStatus
+		var err error
+		if round%2 == 1 {
+			spec := tinySearch()
+			spec.Budget = 16
+			spec.Steps = round + 1 // distinct fingerprints: every job really runs
+			st, err = c.SubmitSearch(spec)
+		} else {
+			spec := tinyJob()
+			spec.DAPs = []int{1}
+			spec.Ablations = []string{"none"}
+			spec.Steps = round + 1
+			st, err = c.Submit(spec)
+		}
 		if err != nil {
 			t.Fatal(err)
 		}
 		for f := 0; f < 3; f++ {
 			wg.Add(1)
-			go func(id string) {
+			go func(id string, search bool) {
 				defer wg.Done()
 				// A follower of an evicted job gets a 404; of a cancelled
 				// job, a cancelled DoneEvent. Both are legitimate ends —
 				// only hangs and races are failures here.
-				c.Stream(id, func(RowEvent) error { return nil })
-			}(st.ID)
+				if search {
+					c.SearchStream(id, func(ProbeEvent) error { return nil })
+				} else {
+					c.Stream(id, func(RowEvent) error { return nil })
+				}
+			}(st.ID, round%2 == 1)
 		}
 		if round%3 == 2 {
 			wg.Add(1)

@@ -102,6 +102,13 @@ func (js JobSpec) sweepSpec() scalefold.SweepSpec {
 	}
 }
 
+// Job kinds: the engine a job runs on. The zero kind is a sweep, so
+// pre-search clients and stored statuses read unchanged.
+const (
+	KindSweep  = ""
+	KindSearch = "search"
+)
+
 // Job states, in lifecycle order.
 const (
 	StateQueued    = "queued"
@@ -114,14 +121,24 @@ const (
 // JobStatus is the wire form of a job's current state, returned by the
 // status and listing endpoints and embedded in the submit response.
 type JobStatus struct {
-	ID    string  `json:"id"`
-	State string  `json:"state"`
-	Spec  JobSpec `json:"spec"`
-	// Cells is the full grid size, Done counts settled rows so far
-	// (executed or skipped), Skipped the infeasible rows among them.
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Kind is KindSearch for adaptive-search jobs, omitted for sweeps.
+	Kind string  `json:"kind,omitempty"`
+	Spec JobSpec `json:"spec"`
+	// Search carries the submitted search spec for KindSearch jobs (Spec is
+	// then the zero sweep spec).
+	Search *SearchJobSpec `json:"search,omitempty"`
+	// Cells is the full grid size (the probe budget, for searches), Done
+	// counts settled rows so far (executed or skipped), Skipped the
+	// infeasible rows among them.
 	Cells   int `json:"cells"`
 	Done    int `json:"done"`
 	Skipped int `json:"skipped"`
+	// Probes counts settled search probes; FrontierSize the Pareto points
+	// of a finished search. Both omitted for sweeps.
+	Probes       int `json:"probes,omitempty"`
+	FrontierSize int `json:"frontier_size,omitempty"`
 	// How the executed cells were satisfied (see scalefold.SweepMetrics).
 	// Remote counts cells dispatched to the worker fleet; it is only nonzero
 	// on a coordinator-mode server.
